@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: interconnect latency sensitivity.
+ *
+ * EXPERIMENTS.md (note N1) attributes part of the gap between our
+ * global-sync speedups and the paper's to the cost of DeNovo's
+ * distributed registration queue, which serializes lock handoffs
+ * across mesh hops. This harness sweeps the per-hop link latency:
+ * GPU coherence (sync at the L2) and DeNovo (ownership chains across
+ * L1s) respond very differently, and the crossover illustrates when
+ * each design wins.
+ */
+
+#include "bench_util.hh"
+
+using namespace nosync;
+using namespace nosync::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+
+    std::printf("=== Ablation: mesh hop latency (SPM_G and FAM_G) "
+                "===\n");
+    std::printf("%-8s %-10s %-8s %-12s %-14s\n", "bench", "hop(cyc)",
+                "config", "cycles", "atomic flits");
+
+    for (const char *name : {"SPM_G", "FAM_G"}) {
+        for (Cycles hop : {1u, 3u, 6u, 12u}) {
+            for (const auto &proto :
+                 {ProtocolConfig::gd(), ProtocolConfig::dd()}) {
+                auto workload = makeScaled(
+                    name, std::min(opts.scalePercent, 50u));
+                SystemConfig config;
+                config.protocol = proto;
+                config.mesh.hopLatency = hop;
+                System system(config);
+                RunResult result = system.run(*workload);
+                if (!result.ok()) {
+                    std::fprintf(stderr, "check failed: %s\n", name);
+                    return 1;
+                }
+                std::printf(
+                    "%-8s %-10llu %-8s %-12llu %-14.0f\n", name,
+                    static_cast<unsigned long long>(hop),
+                    result.config.c_str(),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.traffic[static_cast<std::size_t>(
+                        TrafficClass::Atomic)]);
+            }
+        }
+    }
+    std::printf("\nReading the table: GD's spin herd pays the herd's "
+                "round trips to one L2 bank,\nwhile DD's handoffs "
+                "walk owner-to-owner; higher hop latency stretches "
+                "DD's\nregistration chains faster than GD's bank "
+                "queue, and vice versa.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: DeNovoSync read backoff.
+ *
+ * Section 3 of the paper: "DeNovoSync optimizes DeNovoSync0 by
+ * incorporating a backoff mechanism on registered reads when there is
+ * too much read-read contention. We do not explore it for
+ * simplicity." This harness explores it: DD+BO throttles the
+ * re-registration of spinning synchronization reads that keep
+ * observing an unchanged value, which matters most for the
+ * read-spinning mutexes (FAM's now-serving spin, SLM's lock polls).
+ */
+
+#include "bench_util.hh"
+
+using namespace nosync;
+using namespace nosync::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+
+    std::printf("=== Ablation: DeNovoSync read backoff (DD vs DD+BO) "
+                "===\n");
+    std::printf("%-10s %-8s %-12s %-14s %-14s\n", "bench", "config",
+                "cycles", "atomic flits", "sync misses");
+
+    for (const char *name :
+         {"FAM_G", "SLM_G", "SPM_G", "SPMBO_G", "UTS"}) {
+        for (const auto &proto :
+             {ProtocolConfig::gd(), ProtocolConfig::dd(),
+              ProtocolConfig::ddbo()}) {
+            auto workload = makeScaled(name, opts.scalePercent);
+            SystemConfig config;
+            config.protocol = proto;
+            System system(config);
+            RunResult result = system.run(*workload);
+            if (!result.ok()) {
+                std::fprintf(stderr, "check failed: %s on %s\n",
+                             name, result.config.c_str());
+                return 1;
+            }
+            double sync_misses = 0.0;
+            for (unsigned cu = 0; cu < system.numCus(); ++cu) {
+                sync_misses += system.stats().get(
+                    "l1." + std::to_string(cu) + ".sync_misses");
+            }
+            std::printf("%-10s %-8s %-12llu %-14.0f %-14.0f\n", name,
+                        result.config.c_str(),
+                        static_cast<unsigned long long>(
+                            result.cycles),
+                        result.traffic[static_cast<std::size_t>(
+                            TrafficClass::Atomic)],
+                        sync_misses);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration harnesses.
+ */
+
+#ifndef BENCH_BENCH_UTIL_HH
+#define BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+namespace nosync::bench
+{
+
+/** Command-line options common to every harness. */
+struct Options
+{
+    unsigned scalePercent = 100;
+    bool breakdowns = true;
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options opts;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--scale=", 8) == 0)
+                opts.scalePercent = static_cast<unsigned>(
+                    std::atoi(argv[i] + 8));
+            else if (std::strcmp(argv[i], "--no-breakdowns") == 0)
+                opts.breakdowns = false;
+            else
+                std::cerr << "ignoring unknown option " << argv[i]
+                          << "\n";
+        }
+        return opts;
+    }
+};
+
+/** Run one workload on one configuration. */
+inline RunResult
+runOne(const std::string &workload_name, const ProtocolConfig &proto,
+       const Options &opts)
+{
+    auto workload = makeScaled(workload_name, opts.scalePercent);
+    SystemConfig config;
+    config.protocol = proto;
+    System system(config);
+    RunResult result = system.run(*workload);
+    if (!result.ok()) {
+        std::cerr << "CHECK FAILED: " << workload_name << " on "
+                  << result.config << "\n";
+        for (const auto &failure : result.checkFailures)
+            std::cerr << "  " << failure << "\n";
+        std::exit(1);
+    }
+    return result;
+}
+
+/** Run a workload group across configurations. */
+inline std::vector<WorkloadResults>
+runMatrix(const std::vector<std::string> &workloads,
+          const std::vector<ProtocolConfig> &configs,
+          const Options &opts)
+{
+    std::vector<WorkloadResults> results;
+    for (const auto &name : workloads) {
+        WorkloadResults wr;
+        wr.workload = name;
+        for (const auto &proto : configs) {
+            std::cerr << "  running " << name << " on "
+                      << proto.shortName() << "...\n";
+            wr.runs.push_back(runOne(name, proto, opts));
+        }
+        results.push_back(std::move(wr));
+    }
+    return results;
+}
+
+/** Emit the three figure parts in the paper's format. */
+inline void
+emitFigure(const std::vector<WorkloadResults> &results,
+           std::size_t baseline, const std::string &figure,
+           const Options &opts)
+{
+    std::cout << renderFigure(results, 0, baseline,
+                              figure + "a: execution time (normalized)")
+              << "\n";
+    std::cout << renderFigure(results, 1, baseline,
+                              figure + "b: dynamic energy (normalized)")
+              << "\n";
+    std::cout << renderFigure(results, 2, baseline,
+                              figure +
+                                  "c: network traffic (flit "
+                                  "crossings, normalized)")
+              << "\n";
+    if (opts.breakdowns) {
+        std::cout << "== " << figure
+                  << "b breakdown (energy by component, % of "
+                     "baseline total) ==\n"
+                  << renderEnergyBreakdown(results, baseline) << "\n";
+        std::cout << "== " << figure
+                  << "c breakdown (traffic by class, % of baseline "
+                     "total) ==\n"
+                  << renderTrafficBreakdown(results, baseline) << "\n";
+    }
+}
+
+} // namespace nosync::bench
+
+#endif // BENCH_BENCH_UTIL_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 2: applications without intra-kernel synchronization,
+ * G* (GPU coherence) vs D* (DeNovo), normalized to D*.
+ *
+ * HRF does not affect these codes (no local synchronization), so as
+ * in the paper one bar represents GD=GH and one DD=DH.
+ */
+
+#include "bench_util.hh"
+
+using namespace nosync;
+using namespace nosync::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    std::vector<std::string> names;
+    for (const auto *desc : workloadsInGroup("no-sync"))
+        names.push_back(desc->name);
+
+    // Column order G*, D*; normalized to D* (baseline index 1).
+    auto results = runMatrix(
+        names, {ProtocolConfig::gd(), ProtocolConfig::dd()}, opts);
+    std::cout << "=== Figure 2: no-synchronization applications, "
+                 "G* vs D* (normalized to D*) ===\n\n";
+    emitFigure(results, 1, "Fig2", opts);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 3: microbenchmarks with globally scoped fine-grained
+ * synchronization, G* vs D*, normalized to G*.
+ *
+ * Scopes are irrelevant here (all synchronization is global), so
+ * GD=GH and DD=DD+RO=DH, exactly as the paper plots them.
+ */
+
+#include "bench_util.hh"
+
+using namespace nosync;
+using namespace nosync::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+    std::vector<std::string> names;
+    for (const auto *desc : workloadsInGroup("global-sync"))
+        names.push_back(desc->name);
+
+    auto results = runMatrix(
+        names, {ProtocolConfig::gd(), ProtocolConfig::dd()}, opts);
+    std::cout << "=== Figure 3: globally scoped synchronization "
+                 "microbenchmarks, G* vs D* (normalized to G*) "
+                 "===\n\n";
+    emitFigure(results, 0, "Fig3", opts);
+
+    // Headline: average D* improvement over G*.
+    double time = averageNormalized(results, 0, 1, 0);
+    double energy = averageNormalized(results, 1, 1, 0);
+    double traffic = averageNormalized(results, 2, 1, 0);
+    std::printf("D* vs G* average: %.0f%% lower execution time, "
+                "%.0f%% lower energy, %.0f%% lower traffic\n",
+                (1.0 - time) * 100.0, (1.0 - energy) * 100.0,
+                (1.0 - traffic) * 100.0);
+    std::printf("(paper: 28%% lower execution time, 51%% lower "
+                "energy, 81%% lower traffic)\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths
+ * (event queue, cache array, mesh routing, protocol end-to-end) —
+ * useful when optimizing the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.hh"
+#include "mem/cache_array.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "workloads/registry.hh"
+
+using namespace nosync;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i, [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    CacheArray array(32 * 1024, 8);
+    for (Addr line = 0; line < 64; ++line) {
+        CacheLine *victim = array.findVictim(line * kLineBytes);
+        array.install(*victim, line * kLineBytes);
+    }
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.lookup(addr));
+        addr = (addr + kLineBytes) % (64 * kLineBytes);
+    }
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+static void
+BM_MeshSend(benchmark::State &state)
+{
+    EventQueue eq;
+    stats::StatSet stats;
+    Mesh mesh(eq, stats);
+    for (auto _ : state) {
+        mesh.send(0, 15, 5, TrafficClass::Read, [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_MeshSend);
+
+static void
+BM_EndToEndNN(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto workload = makeScaled("NN", 100);
+        SystemConfig config;
+        System system(config);
+        RunResult result = system.run(*workload);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetLabel("full NN run on DD");
+}
+BENCHMARK(BM_EndToEndNN)->Unit(benchmark::kMillisecond);
+
+static void
+BM_EndToEndSpinMutex(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto workload = makeScaled("SPM_L", 10);
+        SystemConfig config;
+        config.protocol = ProtocolConfig::dh();
+        System system(config);
+        RunResult result = system.run(*workload);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetLabel("SPM_L at 10% scale on DH");
+}
+BENCHMARK(BM_EndToEndSpinMutex)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

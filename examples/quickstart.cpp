@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Quickstart: build a system, run one benchmark on two
+ * configurations, print the three metrics the paper reports.
+ *
+ * Usage: quickstart [workload] [scale-percent]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+using namespace nosync;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "SPM_G";
+    unsigned scale = argc > 2
+                         ? static_cast<unsigned>(std::atoi(argv[2]))
+                         : 30;
+
+    SystemConfig base;
+    for (const ProtocolConfig &proto :
+         {ProtocolConfig::gd(), ProtocolConfig::gh(),
+          ProtocolConfig::dd(), ProtocolConfig::ddro(),
+          ProtocolConfig::dh()}) {
+        auto workload = makeScaled(name, scale);
+        System system(base.with(proto));
+        RunResult result = system.run(*workload);
+
+        std::cout << name << " on " << result.config << ": "
+                  << result.cycles << " cycles, "
+                  << result.energyTotal / 1e6 << " uJ, "
+                  << result.trafficTotal << " flit-crossings"
+                  << (result.ok() ? "" : "  [CHECK FAILED]")
+                  << "\n";
+        for (const auto &failure : result.checkFailures)
+            std::cout << "    " << failure << "\n";
+        if (!result.ok())
+            return 1;
+    }
+    return 0;
+}

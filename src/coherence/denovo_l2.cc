@@ -1,0 +1,453 @@
+#include "coherence/denovo_l2.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "coherence/denovo_l1.hh"
+
+namespace nosync
+{
+
+DenovoL2Bank::DenovoL2Bank(const std::string &name, EventQueue &eq,
+                           stats::StatSet &stats, EnergyModel &energy,
+                           Mesh &mesh, NodeId node, FunctionalMem &memory,
+                           const CacheGeometry &geom,
+                           const CacheTimings &timings)
+    : SimObject(name, eq), _node(node), _mesh(mesh), _energy(energy),
+      _memory(memory), _array(geom.l2BankBytes, geom.l2Assoc),
+      _timings(timings), _fetches(geom.l2MshrEntries),
+      _reads(stats.scalar(name + ".reads", "read requests served")),
+      _registrations(stats.scalar(name + ".registrations",
+                                  "data registrations processed")),
+      _syncRegistrations(stats.scalar(name + ".sync_registrations",
+                                      "sync registrations processed")),
+      _forwards(stats.scalar(name + ".forwards",
+                             "requests forwarded to owner L1s")),
+      _writebacks(stats.scalar(name + ".writebacks",
+                               "registered-word writebacks accepted")),
+      _staleWritebacks(stats.scalar(name + ".stale_writebacks",
+                                    "writebacks ignored (ownership "
+                                    "already moved)")),
+      _recallsStat(stats.scalar(name + ".recalls",
+                                "L2 evictions requiring ownership "
+                                "recall")),
+      _dramFetches(stats.scalar(name + ".dram_fetches",
+                                "line fetches from memory")),
+      _dramWritebacks(stats.scalar(name + ".dram_writebacks",
+                                   "line writebacks to memory"))
+{
+}
+
+// ---------------------------------------------------------------------
+// Line residency
+// ---------------------------------------------------------------------
+
+void
+DenovoL2Bank::withLine(Addr line_addr, std::function<void(CacheLine &)> fn)
+{
+    line_addr = lineAlign(line_addr);
+    _energy.l2Access();
+
+    if (recalling(line_addr)) {
+        // The line is being evicted; replay the request once the
+        // recall completes (the line will then re-fetch from memory).
+        _recalls[line_addr].deferred.push_back(
+            [this, line_addr, fn = std::move(fn)]() mutable {
+                withLine(line_addr, std::move(fn));
+            });
+        return;
+    }
+    withLineReady(line_addr, std::move(fn));
+}
+
+void
+DenovoL2Bank::withLineReady(Addr line_addr,
+                            std::function<void(CacheLine &)> fn,
+                            bool queued)
+{
+    // Pipelined bank: one new access per l2CycleTime cycles.
+    Tick start = std::max(curTick(), _bankFree);
+    _bankFree = start + _timings.l2CycleTime;
+    Cycles queue_delay = start - curTick();
+
+    if (CacheLine *line = _array.lookup(line_addr)) {
+        _array.touch(*line);
+        // Re-resolve at fire time: a concurrent fetch may evict and
+        // repurpose this frame, or a recall may start, during the
+        // access latency window.
+        scheduleIn(queue_delay + _timings.l2Access,
+                   [this, line_addr, fn = std::move(fn)]() mutable {
+                       if (recalling(line_addr)) {
+                           _recalls[line_addr].deferred.push_back(
+                               [this, line_addr,
+                                fn = std::move(fn)]() mutable {
+                                   withLine(line_addr, std::move(fn));
+                               });
+                           return;
+                       }
+                       if (CacheLine *line = _array.lookup(line_addr)) {
+                           fn(*line);
+                           return;
+                       }
+                       withLineReady(line_addr, std::move(fn));
+                   });
+        return;
+    }
+
+    if (FetchEntry *entry = _fetches.find(line_addr)) {
+        entry->waiters.push_back(std::move(fn));
+        return;
+    }
+
+    if ((!queued && !_stalled.empty()) || _fetches.full()) {
+        if (queued) {
+            // Re-stall at the head to preserve arrival order.
+            _stalled.emplace_front(line_addr, std::move(fn));
+            return;
+        }
+        // All fetch MSHRs busy: stall in strict arrival order (the
+        // protocol relies on per-source FIFO processing).
+        _stalled.emplace_back(line_addr, std::move(fn));
+        return;
+    }
+
+    FetchEntry &entry = _fetches.allocate(line_addr);
+    entry.waiters.push_back(std::move(fn));
+    startFetch(line_addr);
+}
+
+void
+DenovoL2Bank::processStalled()
+{
+    while (!_stalled.empty() && !_fetches.full()) {
+        auto [line_addr, fn] = std::move(_stalled.front());
+        _stalled.pop_front();
+        withLineReady(line_addr, std::move(fn), true);
+    }
+}
+
+void
+DenovoL2Bank::startFetch(Addr line_addr)
+{
+    ++_dramFetches;
+    scheduleIn(_timings.l2Access + _timings.dramLatency,
+               [this, line_addr] {
+                   FetchEntry *entry = _fetches.find(line_addr);
+                   panic_if(!entry, "L2 fetch entry vanished");
+                   entry->dramDone = true;
+                   finishFetch(line_addr);
+               });
+}
+
+void
+DenovoL2Bank::finishFetch(Addr line_addr)
+{
+    FetchEntry *entry = _fetches.find(line_addr);
+    if (!entry || !entry->dramDone)
+        return;
+
+    // Prefer victims without registered words; recall otherwise.
+    CacheLine *victim = _array.findVictimPreferring(
+        line_addr, [](const CacheLine &line) {
+            return line.maskInState(WordState::Registered) == 0;
+        });
+    if (victim->valid &&
+        victim->maskInState(WordState::Registered) != 0) {
+        RecallState &state = _recalls[victim->addr];
+        state.blockedFetches.push_back(line_addr);
+        if (state.outstanding == 0)
+            startRecall(*victim);
+        return;
+    }
+
+    if (victim->valid && victim->dirty) {
+        _memory.writeLineMasked(victim->addr, victim->data,
+                                victim->dirty);
+        ++_dramWritebacks;
+    }
+    _array.install(*victim, line_addr);
+    victim->data = _memory.readLine(line_addr);
+    victim->wstate.fill(WordState::Valid);
+    victim->owner.fill(static_cast<std::int8_t>(kNoNode));
+
+    auto waiters = std::move(entry->waiters);
+    _fetches.deallocate(line_addr);
+    for (auto &waiter : waiters)
+        waiter(*victim);
+    processStalled();
+}
+
+void
+DenovoL2Bank::startRecall(CacheLine &victim)
+{
+    ++_recallsStat;
+    RecallState &state = _recalls[victim.addr];
+
+    // Group registered words by owner and pull them back.
+    std::map<NodeId, WordMask> by_owner;
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        if (victim.wstate[w] == WordState::Registered) {
+            by_owner[victim.owner[w]] |=
+                static_cast<WordMask>(1u << w);
+            state.outstanding |= static_cast<WordMask>(1u << w);
+        }
+    }
+    Addr line_addr = victim.addr;
+    for (const auto &[owner, mask] : by_owner) {
+        ++_forwards;
+        DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
+        _mesh.send(_node, owner, kControlFlits, TrafficClass::WriteBack,
+                   [l1, line_addr, mask, node = _node] {
+                       l1->handleTransferReq(line_addr, mask, node,
+                                             false, true);
+                   });
+    }
+}
+
+void
+DenovoL2Bank::handleRecallData(Addr line_addr, WordMask mask,
+                               const LineData &data)
+{
+    line_addr = lineAlign(line_addr);
+    _energy.l2Access();
+    CacheLine *line = _array.lookup(line_addr);
+    panic_if(!line, "recall data for absent line");
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        if (!(mask & (1u << w)))
+            continue;
+        line->data[w] = data[w];
+        line->wstate[w] = WordState::Valid;
+        line->owner[w] = static_cast<std::int8_t>(kNoNode);
+        line->dirty |= static_cast<WordMask>(1u << w);
+    }
+
+    auto it = _recalls.find(line_addr);
+    panic_if(it == _recalls.end(), "recall data without recall state");
+    it->second.outstanding &= ~mask;
+    if (it->second.outstanding == 0)
+        finishRecall(line_addr);
+}
+
+void
+DenovoL2Bank::finishRecall(Addr line_addr)
+{
+    CacheLine *line = _array.lookup(line_addr);
+    panic_if(!line, "finishing recall of absent line");
+    _memory.writeLineMasked(line_addr, line->data,
+                            line->maskInState(WordState::Valid));
+    ++_dramWritebacks;
+    line->clear();
+
+    RecallState state = std::move(_recalls[line_addr]);
+    _recalls.erase(line_addr);
+    for (auto &fn : state.deferred)
+        scheduleIn(0, std::move(fn));
+    for (Addr blocked : state.blockedFetches)
+        finishFetch(blocked);
+}
+
+// ---------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------
+
+void
+DenovoL2Bank::handleReadReq(Addr line_addr, WordMask mask,
+                            NodeId requestor, std::uint64_t req_epoch,
+                            ReadReply reply)
+{
+    ++_reads;
+    withLine(line_addr, [this, line_addr, mask, requestor, req_epoch,
+                         reply = std::move(reply)](CacheLine &line) {
+        WordMask self_mask = 0;
+        std::map<NodeId, WordMask> fwd;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            WordMask bit = static_cast<WordMask>(1u << w);
+            if (!(mask & bit))
+                continue;
+            if (line.wstate[w] != WordState::Registered)
+                continue;
+            if (line.owner[w] == requestor)
+                self_mask |= bit;
+            else
+                fwd[line.owner[w]] |= bit;
+        }
+
+        // The reply carries every word the L2 can serve (sector-style
+        // line transfer of useful words only).
+        WordMask l2_mask = line.maskInState(WordState::Valid);
+        unsigned flits = flitsForWords(popcount(l2_mask));
+        _mesh.send(_node, requestor, flits, TrafficClass::Read,
+                   [reply, l2_mask, data = line.data, self_mask] {
+                       reply(l2_mask, data, self_mask);
+                   });
+
+        for (const auto &[owner, fwd_mask] : fwd) {
+            ++_forwards;
+            DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
+            _mesh.send(_node, owner, kControlFlits, TrafficClass::Read,
+                       [l1, line_addr, fwd_mask, requestor,
+                        req_epoch] {
+                           l1->handleReadFwd(lineAlign(line_addr),
+                                             fwd_mask, requestor,
+                                             req_epoch);
+                       });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Registrations
+// ---------------------------------------------------------------------
+
+void
+DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
+                           NodeId requestor, RegReply reply)
+{
+    if (is_sync)
+        ++_syncRegistrations;
+    else
+        ++_registrations;
+
+    static const bool trace_on =
+            std::getenv("NOSYNC_TRACE") != nullptr;
+        if (trace_on) {
+        std::fprintf(stderr,
+                     "%llu %s regreq line=%llx mask=%x from=%d\n",
+                     (unsigned long long)curTick(), name().c_str(),
+                     (unsigned long long)lineAlign(line_addr), mask,
+                     requestor);
+    }
+    withLine(line_addr, [this, line_addr, mask, is_sync, requestor,
+                         reply = std::move(reply)](CacheLine &line) {
+        WordMask direct = 0;
+        std::map<NodeId, WordMask> fwd;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            WordMask bit = static_cast<WordMask>(1u << w);
+            if (!(mask & bit))
+                continue;
+            if (line.wstate[w] == WordState::Registered) {
+                if (line.owner[w] == requestor) {
+                    direct |= bit;
+                } else {
+                    // Serialize racy registrations in arrival order:
+                    // record the new owner now and forward to the old
+                    // one, forming the distributed queue.
+                    if ([]{ static const bool on = std::getenv("NOSYNC_TRACE") != nullptr; return on; }()) {
+                        std::fprintf(stderr,
+                                     "%llu %s reg fwd line=%llx w=%u "
+                                     "old=%d new=%d\n",
+                                     (unsigned long long)curTick(),
+                                     name().c_str(),
+                                     (unsigned long long)line_addr, w,
+                                     (int)line.owner[w], requestor);
+                    }
+                    fwd[line.owner[w]] |= bit;
+                    line.owner[w] =
+                        static_cast<std::int8_t>(requestor);
+                }
+            } else {
+                direct |= bit;
+                line.wstate[w] = WordState::Registered;
+                line.owner[w] = static_cast<std::int8_t>(requestor);
+            }
+        }
+
+        TrafficClass cls = is_sync ? TrafficClass::Atomic
+                                   : TrafficClass::Registration;
+        unsigned flits = is_sync ? flitsForWords(popcount(direct))
+                                 : kControlFlits;
+        _mesh.send(_node, requestor, flits, cls,
+                   [reply, direct, data = line.data] {
+                       reply(direct, data);
+                   });
+
+        for (const auto &[owner, fwd_mask] : fwd) {
+            ++_forwards;
+            DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
+            _mesh.send(_node, owner, kControlFlits, cls,
+                       [l1, line_addr, fwd_mask, requestor, is_sync] {
+                           l1->handleTransferReq(lineAlign(line_addr),
+                                                 fwd_mask, requestor,
+                                                 is_sync, false);
+                       });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Writebacks
+// ---------------------------------------------------------------------
+
+void
+DenovoL2Bank::handleWriteBack(Addr line_addr, WordMask mask,
+                              const LineData &data, NodeId requestor,
+                              DoneCallback ack)
+{
+    withLine(line_addr, [this, mask, data, requestor,
+                         ack = std::move(ack)](CacheLine &line) {
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            WordMask bit = static_cast<WordMask>(1u << w);
+            if (!(mask & bit))
+                continue;
+            if (line.wstate[w] == WordState::Registered &&
+                line.owner[w] == requestor) {
+                if ([]{ static const bool on = std::getenv("NOSYNC_TRACE") != nullptr; return on; }()) {
+                    std::fprintf(stderr,
+                                 "%llu %s wb accept line=%llx w=%u "
+                                 "val=%u from=%d\n",
+                                 (unsigned long long)curTick(),
+                                 name().c_str(),
+                                 (unsigned long long)lineAlign(
+                                     line.addr), w, data[w],
+                                 requestor);
+                }
+                line.data[w] = data[w];
+                line.wstate[w] = WordState::Valid;
+                line.owner[w] = static_cast<std::int8_t>(kNoNode);
+                line.dirty |= bit;
+                ++_writebacks;
+            } else {
+                if ([]{ static const bool on = std::getenv("NOSYNC_TRACE") != nullptr; return on; }()) {
+                    std::fprintf(stderr,
+                                 "%llu %s wb stale line=%llx w=%u "
+                                 "val=%u from=%d owner=%d\n",
+                                 (unsigned long long)curTick(),
+                                 name().c_str(),
+                                 (unsigned long long)lineAlign(
+                                     line.addr), w, data[w],
+                                 requestor, (int)line.owner[w]);
+                }
+                // Ownership already moved on; the data is stale.
+                ++_staleWritebacks;
+            }
+        }
+        _mesh.send(_node, requestor, kControlFlits,
+                   TrafficClass::WriteBack, std::move(ack));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Test hooks
+// ---------------------------------------------------------------------
+
+std::uint32_t
+DenovoL2Bank::peekWord(Addr addr)
+{
+    if (CacheLine *line = _array.lookup(lineAlign(addr)))
+        return line->data[wordInLine(addr)];
+    return _memory.readWord(addr);
+}
+
+NodeId
+DenovoL2Bank::ownerOf(Addr addr)
+{
+    CacheLine *line = _array.lookup(lineAlign(addr));
+    if (!line)
+        return kNoNode;
+    unsigned w = wordInLine(addr);
+    if (line->wstate[w] != WordState::Registered)
+        return kNoNode;
+    return line->owner[w];
+}
+
+} // namespace nosync

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * DeNovo L2 bank: the registry.
+ *
+ * The shared L2's data banks double as the ownership registry: for
+ * every word the bank either holds the up-to-date data (word state
+ * Valid) or records which L1 owns it (word state Registered plus an
+ * owner id stored in the data bank). There are no sharer lists and no
+ * transient states; racy registrations are serialized in arrival order
+ * and forwarded to the registered L1, forming DeNovoSync0's
+ * distributed queue.
+ */
+
+#ifndef COHERENCE_DENOVO_L2_HH
+#define COHERENCE_DENOVO_L2_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/cache_timings.hh"
+#include "coherence/l1_controller.hh"
+#include "coherence/protocol.hh"
+#include "mem/cache_array.hh"
+#include "mem/functional_mem.hh"
+#include "mem/mshr.hh"
+#include "noc/mesh.hh"
+
+namespace nosync
+{
+
+class DenovoL1Cache;
+
+/** Reply to a data read: words served from L2, and words the
+ *  requestor itself still owns (e.g. a writeback raced the read). */
+using ReadReply =
+    std::function<void(WordMask l2_mask, const LineData &data,
+                       WordMask self_mask)>;
+
+/** Reply to a registration: words granted directly from the L2 (with
+ *  current values, needed by sync registrations). Words not covered
+ *  arrive later as ownership transfers from previous owners. */
+using RegReply =
+    std::function<void(WordMask direct_mask, const LineData &data)>;
+
+/** One bank of the DeNovo registry. */
+class DenovoL2Bank : public SimObject
+{
+  public:
+    DenovoL2Bank(const std::string &name, EventQueue &eq,
+                 stats::StatSet &stats, EnergyModel &energy, Mesh &mesh,
+                 NodeId node, FunctionalMem &memory,
+                 const CacheGeometry &geom,
+                 const CacheTimings &timings);
+
+    /** Wire the L1 caches (for protocol forwards). */
+    void setL1s(std::vector<DenovoL1Cache *> l1s)
+    {
+        _l1s = std::move(l1s);
+    }
+
+    NodeId node() const { return _node; }
+
+    /**
+     * Data read: replies with L2-valid words; forwards to owner L1s
+     * for requested words registered elsewhere. @p req_epoch is the
+     * requestor's opaque freshness token, passed through to owners.
+     */
+    void handleReadReq(Addr line_addr, WordMask mask, NodeId requestor,
+                       std::uint64_t req_epoch, ReadReply reply);
+
+    /**
+     * Registration (ownership) request for the masked words; @p
+     * is_sync distinguishes synchronization registrations (which need
+     * the current value and count as atomic traffic).
+     */
+    void handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
+                      NodeId requestor, RegReply reply);
+
+    /** Writeback of registered words on L1 eviction. */
+    void handleWriteBack(Addr line_addr, WordMask mask,
+                         const LineData &data, NodeId requestor,
+                         DoneCallback ack);
+
+    /** Ownership + data returned by an L1 during an L2 recall. */
+    void handleRecallData(Addr line_addr, WordMask mask,
+                          const LineData &data);
+
+    /** Test hooks. */
+    std::uint32_t peekWord(Addr addr);
+    NodeId ownerOf(Addr addr);
+
+  private:
+    void withLine(Addr line_addr, std::function<void(CacheLine &)> fn);
+    void startFetch(Addr line_addr);
+    void finishFetch(Addr line_addr);
+
+    /** Begin recalling every registered word of @p victim. */
+    void startRecall(CacheLine &victim);
+    void finishRecall(Addr line_addr);
+
+    /** Whether @p line_addr is currently being recalled. */
+    bool recalling(Addr line_addr) const
+    {
+        return _recalls.count(lineAlign(line_addr)) != 0;
+    }
+
+    NodeId _node;
+    Mesh &_mesh;
+    EnergyModel &_energy;
+    FunctionalMem &_memory;
+    CacheArray _array;
+    CacheTimings _timings;
+    std::vector<DenovoL1Cache *> _l1s;
+
+    /** Next tick the pipelined bank accepts an access. */
+    Tick _bankFree = 0;
+
+    struct FetchEntry
+    {
+        std::vector<std::function<void(CacheLine &)>> waiters;
+        bool dramDone = false;
+    };
+    MshrTable<FetchEntry> _fetches;
+
+    /**
+     * Requests stalled on a full fetch MSHR, processed strictly in
+     * arrival order: the protocol's writeback/registration races rely
+     * on per-source FIFO processing, so the bank must not reorder.
+     */
+    std::deque<std::pair<Addr, std::function<void(CacheLine &)>>>
+        _stalled;
+
+    void withLineReady(Addr line_addr,
+                       std::function<void(CacheLine &)> fn,
+                       bool queued = false);
+    void processStalled();
+
+    struct RecallState
+    {
+        WordMask outstanding = 0;
+        /** Requests that arrived for the victim line mid-recall. */
+        std::vector<std::function<void()>> deferred;
+        /** Fetches whose install waits on this recall. */
+        std::vector<Addr> blockedFetches;
+    };
+    std::unordered_map<Addr, RecallState> _recalls;
+
+    stats::Scalar &_reads;
+    stats::Scalar &_registrations;
+    stats::Scalar &_syncRegistrations;
+    stats::Scalar &_forwards;
+    stats::Scalar &_writebacks;
+    stats::Scalar &_staleWritebacks;
+    stats::Scalar &_recallsStat;
+    stats::Scalar &_dramFetches;
+    stats::Scalar &_dramWritebacks;
+};
+
+} // namespace nosync
+
+#endif // COHERENCE_DENOVO_L2_HH

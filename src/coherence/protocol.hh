@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Protocol-level vocabulary shared by every coherence configuration:
+ * protocol/consistency enums, synchronization scopes and semantics,
+ * atomic operation descriptors, and the five studied configurations.
+ */
+
+#ifndef COHERENCE_PROTOCOL_HH
+#define COHERENCE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Coherence protocol family (Table 1's SW vs Hybrid rows). */
+enum class CoherenceProtocol
+{
+    Gpu,    ///< conventional GPU: valid bits, writethrough, no ownership
+    Denovo, ///< DeNovo: reader-initiated inval + ownership registration
+};
+
+/** Memory consistency model. */
+enum class ConsistencyModel
+{
+    Drf, ///< data-race-free (no scopes)
+    Hrf, ///< heterogeneous-race-free (HRF-Indirect, scoped sync)
+};
+
+/**
+ * Synchronization scope annotation. Under DRF the annotation is
+ * ignored and every synchronization behaves as Global.
+ */
+enum class Scope
+{
+    Local,  ///< CU-local: thread blocks sharing one L1
+    Global, ///< device-wide: all CUs and the CPU
+};
+
+/** Ordering semantics of a synchronization access. */
+enum class SyncSemantics
+{
+    Acquire,        ///< synchronization read
+    Release,        ///< synchronization write
+    AcquireRelease, ///< read-modify-write
+};
+
+/** Atomic function performed by a synchronization access. */
+enum class AtomicFunc
+{
+    Load,        ///< sync load; returns current value
+    Store,       ///< sync store; returns stored value
+    FetchAdd,    ///< returns old value; word += operand
+    Exchange,    ///< returns old value; word = operand
+    CompareSwap, ///< returns old value; if old == compare, word = operand
+};
+
+/** A synchronization (atomic) access descriptor. */
+struct SyncOp
+{
+    AtomicFunc func = AtomicFunc::Load;
+    Addr addr = 0;
+    std::uint32_t operand = 0;
+    std::uint32_t compare = 0;
+    Scope scope = Scope::Global;
+    SyncSemantics sem = SyncSemantics::AcquireRelease;
+
+    bool
+    isAcquire() const
+    {
+        return sem != SyncSemantics::Release;
+    }
+
+    bool
+    isRelease() const
+    {
+        return sem != SyncSemantics::Acquire;
+    }
+
+    /** Whether the atomic can modify memory. */
+    bool
+    writes() const
+    {
+        return func != AtomicFunc::Load;
+    }
+};
+
+/** Result of applying an atomic function. */
+struct AtomicResult
+{
+    std::uint32_t newValue;  ///< value the word holds afterwards
+    std::uint32_t returned;  ///< value returned to the program
+    bool stored;             ///< whether the word actually changed
+};
+
+/** Functionally apply @p op to a word currently holding @p old_val. */
+inline AtomicResult
+applyAtomic(const SyncOp &op, std::uint32_t old_val)
+{
+    switch (op.func) {
+      case AtomicFunc::Load:
+        return {old_val, old_val, false};
+      case AtomicFunc::Store:
+        return {op.operand, op.operand, true};
+      case AtomicFunc::FetchAdd:
+        return {old_val + op.operand, old_val, true};
+      case AtomicFunc::Exchange:
+        return {op.operand, old_val, true};
+      case AtomicFunc::CompareSwap:
+        if (old_val == op.compare)
+            return {op.operand, old_val, true};
+        return {old_val, old_val, false};
+    }
+    panic("unreachable atomic func");
+}
+
+/** One of the five studied system configurations (Section 5.3). */
+struct ProtocolConfig
+{
+    CoherenceProtocol protocol = CoherenceProtocol::Gpu;
+    ConsistencyModel consistency = ConsistencyModel::Drf;
+    /** DD+RO: selectively keep read-only-region words at acquires. */
+    bool readOnlyRegions = false;
+
+    /**
+     * DeNovoSync read backoff (the paper mentions but does not
+     * evaluate it, Section 3): a spinning synchronization read that
+     * keeps observing an unchanged value delays its re-registration
+     * exponentially, throttling read-read ownership ping-pong.
+     */
+    bool syncReadBackoff = false;
+
+    /** Effective scope of a sync access under this configuration. */
+    Scope
+    effectiveScope(Scope annotated) const
+    {
+        return consistency == ConsistencyModel::Hrf ? annotated
+                                                    : Scope::Global;
+    }
+
+    /** Short name used throughout the paper (GD, GH, DD, DD+RO, DH). */
+    std::string
+    shortName() const
+    {
+        if (protocol == CoherenceProtocol::Gpu) {
+            return consistency == ConsistencyModel::Hrf ? "GH" : "GD";
+        }
+        std::string name;
+        if (consistency == ConsistencyModel::Hrf)
+            name = "DH";
+        else
+            name = readOnlyRegions ? "DD+RO" : "DD";
+        if (syncReadBackoff)
+            name += "+BO";
+        return name;
+    }
+
+    static ProtocolConfig
+    gd()
+    {
+        return {CoherenceProtocol::Gpu, ConsistencyModel::Drf, false};
+    }
+
+    static ProtocolConfig
+    gh()
+    {
+        return {CoherenceProtocol::Gpu, ConsistencyModel::Hrf, false};
+    }
+
+    static ProtocolConfig
+    dd()
+    {
+        return {CoherenceProtocol::Denovo, ConsistencyModel::Drf,
+                false};
+    }
+
+    static ProtocolConfig
+    ddro()
+    {
+        return {CoherenceProtocol::Denovo, ConsistencyModel::Drf,
+                true};
+    }
+
+    static ProtocolConfig
+    dh()
+    {
+        return {CoherenceProtocol::Denovo, ConsistencyModel::Hrf,
+                false};
+    }
+
+    /** DD with the DeNovoSync read-backoff extension. */
+    static ProtocolConfig
+    ddbo()
+    {
+        ProtocolConfig config = dd();
+        config.syncReadBackoff = true;
+        return config;
+    }
+};
+
+} // namespace nosync
+
+#endif // COHERENCE_PROTOCOL_HH

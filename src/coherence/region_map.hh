@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Software region information (DD+RO).
+ *
+ * The read-only region is a hardware-oblivious, program-level property:
+ * the application declares address ranges that are never written during
+ * the current kernel. DD+RO consults this map on fills so read-only
+ * words survive acquire self-invalidations. The paper conveys the
+ * information through an opcode bit; here the map plays that role.
+ */
+
+#ifndef COHERENCE_REGION_MAP_HH
+#define COHERENCE_REGION_MAP_HH
+
+#include <map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Set of byte ranges marked read-only by the program. */
+class RegionMap
+{
+  public:
+    /** Declare [base, base+bytes) read-only. */
+    void
+    addReadOnly(Addr base, Addr bytes)
+    {
+        if (bytes == 0)
+            return;
+        _ranges[base] = base + bytes;
+    }
+
+    /** Drop every declared range (e.g. between kernels). */
+    void clear() { _ranges.clear(); }
+
+    /** Whether the word at @p addr lies in a read-only range. */
+    bool
+    isReadOnly(Addr addr) const
+    {
+        auto it = _ranges.upper_bound(addr);
+        if (it == _ranges.begin())
+            return false;
+        --it;
+        return addr < it->second;
+    }
+
+    /** Mask of read-only words within the line at @p line_addr. */
+    WordMask
+    readOnlyMask(Addr line_addr) const
+    {
+        if (_ranges.empty())
+            return 0;
+        WordMask mask = 0;
+        line_addr = lineAlign(line_addr);
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (isReadOnly(line_addr + w * kWordBytes))
+                mask |= static_cast<WordMask>(1u << w);
+        }
+        return mask;
+    }
+
+    bool empty() const { return _ranges.empty(); }
+
+  private:
+    /** base -> one-past-end, non-overlapping by construction of use. */
+    std::map<Addr, Addr> _ranges;
+};
+
+} // namespace nosync
+
+#endif // COHERENCE_REGION_MAP_HH

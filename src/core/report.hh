@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reporting helpers shared by the benchmark harnesses: normalized
+ * tables in the paper's figure shapes (execution time, energy by
+ * component, network traffic by class, each normalized to a chosen
+ * baseline configuration).
+ */
+
+#ifndef CORE_REPORT_HH
+#define CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace nosync
+{
+
+/** All configurations' results for one workload. */
+struct WorkloadResults
+{
+    std::string workload;
+    std::vector<RunResult> runs; ///< one per configuration
+};
+
+/** Render one figure part: normalized metric per config per workload.
+ *
+ * @param results   per-workload results (same config order each)
+ * @param metric    0 = execution time, 1 = energy, 2 = traffic
+ * @param baseline  index of the config to normalize to
+ */
+std::string renderFigure(const std::vector<WorkloadResults> &results,
+                         int metric, std::size_t baseline,
+                         const std::string &title);
+
+/** Render the energy breakdown (per component) for each run. */
+std::string
+renderEnergyBreakdown(const std::vector<WorkloadResults> &results,
+                      std::size_t baseline);
+
+/** Render the traffic breakdown (per class) for each run. */
+std::string
+renderTrafficBreakdown(const std::vector<WorkloadResults> &results,
+                       std::size_t baseline);
+
+/** Geometric-mean style summary: average normalized metric. */
+double averageNormalized(const std::vector<WorkloadResults> &results,
+                         int metric, std::size_t config,
+                         std::size_t baseline);
+
+/** Extract a metric scalar from a run result. */
+double metricOf(const RunResult &run, int metric);
+
+} // namespace nosync
+
+#endif // CORE_REPORT_HH

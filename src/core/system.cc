@@ -1,0 +1,208 @@
+#include "core/system.hh"
+
+namespace nosync
+{
+
+System::System(const SystemConfig &config) : _config(config)
+{
+    _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
+    _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh);
+
+    unsigned num_nodes = _mesh->numNodes();
+    fatal_if(_config.numCus >= num_nodes,
+             "need at least one non-CU node for the CPU core");
+
+    bool denovo =
+        _config.protocol.protocol == CoherenceProtocol::Denovo;
+
+    // One L2 bank per mesh node (NUCA, Figure 1).
+    for (unsigned node = 0; node < num_nodes; ++node) {
+        std::string name = "l2b" + std::to_string(node);
+        if (denovo) {
+            _denovoBanks.push_back(std::make_unique<DenovoL2Bank>(
+                name, _eq, _stats, *_energy, *_mesh,
+                static_cast<NodeId>(node), _memory, _config.geometry,
+                _config.timings));
+        } else {
+            _gpuBanks.push_back(std::make_unique<GpuL2Bank>(
+                name, _eq, _stats, *_energy, *_mesh,
+                static_cast<NodeId>(node), _memory, _config.geometry,
+                _config.timings));
+        }
+    }
+
+    // One L1 per GPU CU (nodes 0 .. numCus-1).
+    for (unsigned cu = 0; cu < _config.numCus; ++cu) {
+        std::string name = "l1." + std::to_string(cu);
+        if (denovo) {
+            std::vector<DenovoL2Bank *> banks;
+            for (auto &bank : _denovoBanks)
+                banks.push_back(bank.get());
+            _denovoL1s.push_back(std::make_unique<DenovoL1Cache>(
+                name, _eq, _stats, *_energy, *_mesh,
+                static_cast<NodeId>(cu), _config.protocol,
+                std::move(banks), _regions, _config.geometry,
+                _config.timings));
+            _l1s.push_back(_denovoL1s.back().get());
+        } else {
+            std::vector<GpuL2Bank *> banks;
+            for (auto &bank : _gpuBanks)
+                banks.push_back(bank.get());
+            _gpuL1s.push_back(std::make_unique<GpuL1Cache>(
+                name, _eq, _stats, *_energy, *_mesh,
+                static_cast<NodeId>(cu), _config.protocol,
+                std::move(banks), _config.geometry, _config.timings));
+            _l1s.push_back(_gpuL1s.back().get());
+        }
+    }
+
+    if (denovo) {
+        // Wire forwards: registry -> L1 and L1 -> L1.
+        std::vector<DenovoL1Cache *> l1s;
+        for (auto &l1 : _denovoL1s)
+            l1s.push_back(l1.get());
+        for (auto &bank : _denovoBanks)
+            bank->setL1s(l1s);
+        for (auto &l1 : _denovoL1s)
+            l1->setPeers(l1s);
+    }
+}
+
+System::~System() = default;
+
+GpuL1Cache *
+System::gpuL1(unsigned cu)
+{
+    return cu < _gpuL1s.size() ? _gpuL1s[cu].get() : nullptr;
+}
+
+DenovoL1Cache *
+System::denovoL1(unsigned cu)
+{
+    return cu < _denovoL1s.size() ? _denovoL1s[cu].get() : nullptr;
+}
+
+GpuL2Bank *
+System::gpuBank(unsigned bank)
+{
+    return bank < _gpuBanks.size() ? _gpuBanks[bank].get() : nullptr;
+}
+
+DenovoL2Bank *
+System::denovoBank(unsigned bank)
+{
+    return bank < _denovoBanks.size() ? _denovoBanks[bank].get()
+                                      : nullptr;
+}
+
+Addr
+System::alloc(Addr bytes)
+{
+    Addr base = _allocNext;
+    Addr lines = (bytes + kLineBytes - 1) / kLineBytes;
+    _allocNext += lines * kLineBytes;
+    return base;
+}
+
+void
+System::writeInit(Addr addr, std::uint32_t value)
+{
+    _memory.writeWord(addr, value);
+}
+
+std::uint32_t
+System::debugRead(Addr addr)
+{
+    // Coherent whole-hierarchy read: a DeNovo L1 owning the word has
+    // the only up-to-date copy; otherwise the home L2 bank (or memory
+    // behind it) does.
+    for (auto &l1 : _denovoL1s) {
+        if (l1->ownsWord(addr)) {
+            std::uint32_t value = 0;
+            l1->peekWord(addr, value);
+            return value;
+        }
+    }
+    std::size_t bank = (lineAlign(addr) / kLineBytes) %
+                       _mesh->numNodes();
+    if (!_denovoBanks.empty())
+        return _denovoBanks[bank]->peekWord(addr);
+    if (!_gpuBanks.empty())
+        return _gpuBanks[bank]->peekWord(addr);
+    return _memory.readWord(addr);
+}
+
+void
+System::declareReadOnly(Addr base, Addr bytes)
+{
+    _regions.addReadOnly(base, bytes);
+}
+
+RunResult
+System::run(Workload &workload)
+{
+    fatal_if(_ran, "a System instance runs exactly one workload; "
+             "build a fresh System for each run");
+    _ran = true;
+
+    workload.init(*this);
+
+    GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
+                     _config.seed, _config.kernelLaunchLatency);
+
+    bool done = false;
+    Tick done_tick = 0;
+    device.run([&] {
+        done = true;
+        done_tick = _eq.now();
+    });
+
+    while (!done && !_eq.empty() && _eq.now() < _config.maxCycles)
+        _eq.step();
+
+    if (done) {
+        // Quiesce: in-flight protocol traffic (e.g. eviction
+        // writebacks racing the final drain) must land before the
+        // hierarchy is inspected for results.
+        _eq.run(_config.maxCycles);
+    }
+
+    RunResult result;
+    result.workload = workload.name();
+    result.config = _config.protocol.shortName();
+
+    if (!done) {
+        result.checkFailures.push_back(
+            _eq.empty() ? "simulation deadlocked (event queue empty "
+                          "before workload completion)"
+                        : "simulation exceeded the cycle watchdog");
+        for (auto &l1 : _denovoL1s)
+            result.checkFailures.push_back(l1->dumpState());
+        result.cycles = _eq.now();
+        return result;
+    }
+
+    // Network energy accrues from the final flit counts.
+    _energy->flitCrossings(_mesh->totalFlitCrossings());
+
+    result.cycles = done_tick;
+    _stats.scalar("sim.exec_cycles", "workload execution time")
+        .set(static_cast<double>(result.cycles));
+
+    for (std::size_t c = 0; c < kNumEnergyComponents; ++c) {
+        result.energy[c] =
+            _energy->component(static_cast<EnergyComponent>(c));
+    }
+    result.energyTotal = _energy->total();
+
+    for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
+        result.traffic[c] =
+            _mesh->flitCrossings(static_cast<TrafficClass>(c));
+    }
+    result.trafficTotal = _mesh->totalFlitCrossings();
+
+    result.checkFailures = workload.check(*this);
+    return result;
+}
+
+} // namespace nosync

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The System: one simulated CPU-GPU machine (Figure 1) under one of
+ * the five studied configurations. This is the library's main entry
+ * point: build a System from a SystemConfig, run a Workload, get a
+ * RunResult with the paper's three metrics (execution time, dynamic
+ * energy by component, network traffic by class).
+ */
+
+#ifndef CORE_SYSTEM_HH
+#define CORE_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/denovo_l1.hh"
+#include "coherence/denovo_l2.hh"
+#include "coherence/gpu_l1.hh"
+#include "coherence/gpu_l2.hh"
+#include "coherence/region_map.hh"
+#include "core/system_config.hh"
+#include "energy/energy_model.hh"
+#include "gpu/gpu_device.hh"
+#include "gpu/workload.hh"
+#include "mem/functional_mem.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace nosync
+{
+
+/** Result of running one workload on one configuration. */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+
+    /** Execution time in GPU cycles (Figures 2a/3a/4a). */
+    Tick cycles = 0;
+
+    /** Dynamic energy by component, pJ (Figures 2b/3b/4b). */
+    std::array<double, kNumEnergyComponents> energy{};
+    double energyTotal = 0.0;
+
+    /** Network flit crossings by class (Figures 2c/3c/4c). */
+    std::array<double, kNumTrafficClasses> traffic{};
+    double trafficTotal = 0.0;
+
+    /** Functional-check failures; empty on success. */
+    std::vector<std::string> checkFailures;
+
+    bool ok() const { return checkFailures.empty(); }
+};
+
+/** One simulated machine instance. Build fresh per run. */
+class System : public WorkloadEnv
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System() override;
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run @p workload to completion and collect the metrics. */
+    RunResult run(Workload &workload);
+
+    // WorkloadEnv interface -------------------------------------------
+    Addr alloc(Addr bytes) override;
+    void writeInit(Addr addr, std::uint32_t value) override;
+    std::uint32_t debugRead(Addr addr) override;
+    void declareReadOnly(Addr base, Addr bytes) override;
+    unsigned numCus() const override { return _config.numCus; }
+    bool hrf() const override
+    {
+        return _config.protocol.consistency == ConsistencyModel::Hrf;
+    }
+
+    // Component access (tests, benches) -------------------------------
+    const SystemConfig &config() const { return _config; }
+    EventQueue &eventQueue() { return _eq; }
+    stats::StatSet &stats() { return _stats; }
+    Mesh &mesh() { return *_mesh; }
+    EnergyModel &energy() { return *_energy; }
+    FunctionalMem &memory() { return _memory; }
+    RegionMap &regions() { return _regions; }
+    L1Controller &l1(unsigned cu) { return *_l1s.at(cu); }
+    GpuL1Cache *gpuL1(unsigned cu);
+    DenovoL1Cache *denovoL1(unsigned cu);
+    GpuL2Bank *gpuBank(unsigned bank);
+    DenovoL2Bank *denovoBank(unsigned bank);
+
+  private:
+    SystemConfig _config;
+    EventQueue _eq;
+    stats::StatSet _stats;
+    FunctionalMem _memory;
+    RegionMap _regions;
+    std::unique_ptr<EnergyModel> _energy;
+    std::unique_ptr<Mesh> _mesh;
+
+    std::vector<std::unique_ptr<GpuL2Bank>> _gpuBanks;
+    std::vector<std::unique_ptr<DenovoL2Bank>> _denovoBanks;
+    std::vector<std::unique_ptr<GpuL1Cache>> _gpuL1s;
+    std::vector<std::unique_ptr<DenovoL1Cache>> _denovoL1s;
+    std::vector<L1Controller *> _l1s;
+
+    Addr _allocNext = 0x10000;
+    bool _ran = false;
+};
+
+} // namespace nosync
+
+#endif // CORE_SYSTEM_HH

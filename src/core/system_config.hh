@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level system configuration (Table 3 plus the studied protocol
+ * configuration).
+ */
+
+#ifndef CORE_SYSTEM_CONFIG_HH
+#define CORE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "coherence/cache_timings.hh"
+#include "coherence/protocol.hh"
+#include "energy/energy_model.hh"
+#include "noc/mesh.hh"
+
+namespace nosync
+{
+
+/** Everything needed to build a System. */
+struct SystemConfig
+{
+    /** Which of GD / GH / DD / DD+RO / DH to build. */
+    ProtocolConfig protocol = ProtocolConfig::dd();
+
+    MeshParams mesh{};
+    CacheGeometry geometry{};
+    CacheTimings timings{};
+    EnergyParams energy{};
+
+    /** GPU compute units; the remaining mesh node is the CPU core. */
+    unsigned numCus = 15;
+
+    /** Seed for workload randomness (UTS shape, backoff jitter). */
+    std::uint64_t seed = 1;
+
+    /** CPU-side kernel launch latency (cycles). */
+    Cycles kernelLaunchLatency = 300;
+
+    /** Watchdog: abort runs exceeding this many cycles. */
+    Tick maxCycles = 2'000'000'000ull;
+
+    /** Convenience: same machine, different protocol configuration. */
+    SystemConfig
+    with(const ProtocolConfig &proto) const
+    {
+        SystemConfig copy = *this;
+        copy.protocol = proto;
+        return copy;
+    }
+};
+
+} // namespace nosync
+
+#endif // CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,125 @@
+#include "gpu/gpu_device.hh"
+
+namespace nosync
+{
+
+GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
+                     EnergyModel &energy,
+                     std::vector<L1Controller *> cu_l1s,
+                     Workload &workload, std::uint64_t seed,
+                     Cycles kernel_launch_latency)
+    : SimObject("gpu", eq), _l1s(std::move(cu_l1s)), _energy(energy),
+      _workload(workload), _seed(seed),
+      _launchLatency(kernel_launch_latency),
+      _kernelsLaunched(stats.scalar("gpu.kernels_launched",
+                                    "kernels launched")),
+      _tbsExecuted(stats.scalar("gpu.tbs_executed",
+                                "thread blocks executed"))
+{
+    panic_if(_l1s.empty(), "GPU device with no compute units");
+}
+
+void
+GpuDevice::run(DoneCallback on_complete)
+{
+    _onComplete = std::move(on_complete);
+    _kernel = 0;
+    scheduleIn(_launchLatency, [this] { launchKernel(); });
+}
+
+void
+GpuDevice::launchKernel()
+{
+    panic_if(_kernel >= _workload.numKernels(),
+             "launching past the last kernel");
+    ++_kernelsLaunched;
+    KernelInfo info = _workload.kernelInfo(_kernel);
+    panic_if(info.numTbs == 0, "kernel with zero thread blocks");
+
+    // Implicit global acquire at kernel launch on every CU.
+    for (L1Controller *l1 : _l1s)
+        l1->kernelBegin();
+
+    _kernelStart = curTick();
+    _tbsLeft = info.numTbs;
+    _cuTbsLeft.assign(_l1s.size(), 0);
+    _contexts.clear();
+    startTbs();
+}
+
+void
+GpuDevice::startTbs()
+{
+    KernelInfo info = _workload.kernelInfo(_kernel);
+    unsigned num_cus = static_cast<unsigned>(_l1s.size());
+
+    for (unsigned tb = 0; tb < info.numTbs; ++tb) {
+        unsigned cu = tb % num_cus;
+        unsigned tb_on_cu = tb / num_cus;
+        ++_cuTbsLeft[cu];
+
+        // Deterministic per-TB seed so every configuration sees the
+        // same workload shape (modulo timing feedback).
+        std::uint64_t tb_seed =
+            _seed ^ (0x51ed270b1ull * (_kernel + 1)) ^
+            (0x9e3779b97f4a7c15ull * (tb + 1));
+        _contexts.push_back(std::make_unique<TbContext>(
+            eventQueue(), *_l1s[cu], _energy, Rng(tb_seed), _kernel,
+            tb, cu, tb_on_cu, num_cus,
+            (info.numTbs + num_cus - 1) / num_cus));
+    }
+
+    // Start after all contexts exist (coroutines may finish
+    // synchronously and mutate shared counters).
+    for (auto &ctx : _contexts) {
+        unsigned cu = ctx->cu();
+        SimTask task = _workload.tbMain(*ctx);
+        task.start([this, cu] { onTbDone(cu); });
+    }
+}
+
+void
+GpuDevice::onTbDone(unsigned cu)
+{
+    ++_tbsExecuted;
+    panic_if(_cuTbsLeft[cu] == 0, "TB completion underflow on CU ", cu);
+    if (--_cuTbsLeft[cu] == 0) {
+        // This CU went idle: account its active-cycle energy for the
+        // kernel (GPU core+ component).
+        _energy.coreActiveCycles(
+            static_cast<double>(curTick() - _kernelStart));
+    }
+
+    panic_if(_tbsLeft == 0, "kernel TB count underflow");
+    if (--_tbsLeft != 0)
+        return;
+
+    // Implicit global release: every CU drains before the kernel is
+    // considered complete.
+    _drainsLeft = 0;
+    for (std::size_t cu_idx = 0; cu_idx < _l1s.size(); ++cu_idx)
+        ++_drainsLeft;
+    for (L1Controller *l1 : _l1s) {
+        l1->kernelEnd([this] {
+            panic_if(_drainsLeft == 0, "kernel drain underflow");
+            if (--_drainsLeft == 0)
+                onKernelDrained();
+        });
+    }
+}
+
+void
+GpuDevice::onKernelDrained()
+{
+    _contexts.clear();
+    ++_kernel;
+    if (_kernel < _workload.numKernels()) {
+        scheduleIn(_launchLatency, [this] { launchKernel(); });
+        return;
+    }
+    auto done = std::move(_onComplete);
+    if (done)
+        done();
+}
+
+} // namespace nosync

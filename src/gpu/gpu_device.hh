@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GPU device model: kernel launch, thread-block scheduling across
+ * compute units, and kernel-boundary coherence actions.
+ *
+ * A kernel launch performs the implicit global acquire at every
+ * participating CU (kernelBegin); kernel completion performs the
+ * implicit global release (kernelEnd) and the next kernel launches
+ * only after every CU's release completed — the standard GPU
+ * coarse-grained synchronization the paper's Section 1 describes.
+ */
+
+#ifndef GPU_GPU_DEVICE_HH
+#define GPU_GPU_DEVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/l1_controller.hh"
+#include "energy/energy_model.hh"
+#include "gpu/tb_context.hh"
+#include "gpu/workload.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace nosync
+{
+
+/** Orchestrates a workload's kernels over the CUs. */
+class GpuDevice : public SimObject
+{
+  public:
+    GpuDevice(EventQueue &eq, stats::StatSet &stats,
+              EnergyModel &energy,
+              std::vector<L1Controller *> cu_l1s, Workload &workload,
+              std::uint64_t seed, Cycles kernel_launch_latency = 300);
+
+    /** Run every kernel; @p on_complete fires after the last drain. */
+    void run(DoneCallback on_complete);
+
+  private:
+    void launchKernel();
+    void startTbs();
+    void onTbDone(unsigned cu);
+    void onKernelDrained();
+
+    std::vector<L1Controller *> _l1s;
+    EnergyModel &_energy;
+    Workload &_workload;
+    std::uint64_t _seed;
+    Cycles _launchLatency;
+
+    unsigned _kernel = 0;
+    unsigned _tbsLeft = 0;
+    unsigned _drainsLeft = 0;
+    Tick _kernelStart = 0;
+    std::vector<unsigned> _cuTbsLeft;
+    std::vector<std::unique_ptr<TbContext>> _contexts;
+    DoneCallback _onComplete;
+
+    stats::Scalar &_kernelsLaunched;
+    stats::Scalar &_tbsExecuted;
+};
+
+} // namespace nosync
+
+#endif // GPU_GPU_DEVICE_HH

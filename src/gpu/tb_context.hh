@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Execution context of one simulated thread block.
+ *
+ * A TbContext identifies the thread block (kernel, global index, CU,
+ * index on its CU) and exposes awaitable memory operations that drive
+ * the CU's L1 controller. One context models one thread block's
+ * coalesced memory instruction stream; latency is hidden across the
+ * thread blocks resident on a CU, as on real hardware.
+ */
+
+#ifndef GPU_TB_CONTEXT_HH
+#define GPU_TB_CONTEXT_HH
+
+#include <coroutine>
+#include <vector>
+
+#include "coherence/l1_controller.hh"
+#include "energy/energy_model.hh"
+#include "gpu/sim_task.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace nosync
+{
+
+/** Thread-block identification and awaitable memory interface. */
+class TbContext
+{
+  public:
+    TbContext(EventQueue &eq, L1Controller &l1, EnergyModel &energy,
+              Rng rng, unsigned kernel, unsigned tb_global,
+              unsigned cu, unsigned tb_on_cu, unsigned num_cus,
+              unsigned tbs_per_cu)
+        : _eq(eq), _l1(l1), _energy(energy), _rng(rng),
+          _kernel(kernel), _tbGlobal(tb_global), _cu(cu),
+          _tbOnCu(tb_on_cu), _numCus(num_cus), _tbsPerCu(tbs_per_cu)
+    {}
+
+    unsigned kernel() const { return _kernel; }
+    unsigned tbGlobal() const { return _tbGlobal; }
+    unsigned cu() const { return _cu; }
+    unsigned tbOnCu() const { return _tbOnCu; }
+    unsigned numCus() const { return _numCus; }
+    unsigned tbsPerCu() const { return _tbsPerCu; }
+    Rng &rng() { return _rng; }
+    L1Controller &l1() { return _l1; }
+    Tick now() const { return _eq.now(); }
+
+    /** Awaitable data load. */
+    auto
+    load(Addr addr)
+    {
+        struct Awaiter
+        {
+            TbContext *ctx;
+            Addr addr;
+            std::uint32_t value = 0;
+
+            bool await_ready() { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ctx->_l1.load(addr, [this, h](std::uint32_t v) {
+                    value = v;
+                    h.resume();
+                });
+            }
+
+            std::uint32_t await_resume() { return value; }
+        };
+        return Awaiter{this, addr};
+    }
+
+    /** Awaitable batch of independent loads (a coalesced warp). */
+    auto
+    loadMany(std::vector<Addr> addrs)
+    {
+        struct Awaiter
+        {
+            TbContext *ctx;
+            std::vector<Addr> addrs;
+            std::vector<std::uint32_t> values;
+            unsigned remaining = 0;
+
+            bool await_ready() { return addrs.empty(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                values.assign(addrs.size(), 0);
+                remaining = static_cast<unsigned>(addrs.size());
+                for (std::size_t i = 0; i < addrs.size(); ++i) {
+                    ctx->_l1.load(addrs[i],
+                                  [this, i, h](std::uint32_t v) {
+                                      values[i] = v;
+                                      if (--remaining == 0)
+                                          h.resume();
+                                  });
+                }
+            }
+
+            std::vector<std::uint32_t>
+            await_resume()
+            {
+                return std::move(values);
+            }
+        };
+        return Awaiter{this, std::move(addrs), {}, 0};
+    }
+
+    /** Awaitable batch of independent stores (a coalesced warp). */
+    auto
+    storeMany(std::vector<std::pair<Addr, std::uint32_t>> stores)
+    {
+        struct Awaiter
+        {
+            TbContext *ctx;
+            std::vector<std::pair<Addr, std::uint32_t>> stores;
+            unsigned remaining = 0;
+
+            bool await_ready() { return stores.empty(); }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                remaining = static_cast<unsigned>(stores.size());
+                for (const auto &[addr, value] : stores) {
+                    ctx->_l1.store(addr, value, [this, h] {
+                        if (--remaining == 0)
+                            h.resume();
+                    });
+                }
+            }
+
+            void await_resume() {}
+        };
+        return Awaiter{this, std::move(stores), 0};
+    }
+
+    /** Awaitable data store (completes when accepted/retired). */
+    auto
+    store(Addr addr, std::uint32_t value)
+    {
+        struct Awaiter
+        {
+            TbContext *ctx;
+            Addr addr;
+            std::uint32_t value;
+
+            bool await_ready() { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ctx->_l1.store(addr, value, [h] { h.resume(); });
+            }
+
+            void await_resume() {}
+        };
+        return Awaiter{this, addr, value};
+    }
+
+    /** Awaitable synchronization (atomic) access. */
+    auto
+    atomic(SyncOp op)
+    {
+        struct Awaiter
+        {
+            TbContext *ctx;
+            SyncOp op;
+            std::uint32_t value = 0;
+
+            bool await_ready() { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ctx->_l1.sync(op, [this, h](std::uint32_t v) {
+                    value = v;
+                    h.resume();
+                });
+            }
+
+            std::uint32_t await_resume() { return value; }
+        };
+        return Awaiter{this, op};
+    }
+
+    /** Awaitable delay (compute work or synchronization backoff). */
+    auto
+    wait(Cycles cycles)
+    {
+        struct Awaiter
+        {
+            TbContext *ctx;
+            Cycles cycles;
+
+            bool await_ready() { return cycles == 0; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ctx->_eq.scheduleIn(cycles, [h] { h.resume(); },
+                                    EventPriority::CuIssue);
+            }
+
+            void await_resume() {}
+        };
+        return Awaiter{this, cycles};
+    }
+
+    /** Scratchpad accesses: @p words word accesses, 1 cycle. */
+    auto
+    scratch(unsigned words)
+    {
+        _energy.scratchAccess(words);
+        return wait(1);
+    }
+
+    // Convenience sync-op builders ------------------------------------
+
+    SyncOp
+    atomicLoad(Addr addr, Scope scope) const
+    {
+        SyncOp op;
+        op.func = AtomicFunc::Load;
+        op.addr = addr;
+        op.scope = scope;
+        op.sem = SyncSemantics::Acquire;
+        return op;
+    }
+
+    SyncOp
+    atomicStore(Addr addr, std::uint32_t value, Scope scope) const
+    {
+        SyncOp op;
+        op.func = AtomicFunc::Store;
+        op.addr = addr;
+        op.operand = value;
+        op.scope = scope;
+        op.sem = SyncSemantics::Release;
+        return op;
+    }
+
+    SyncOp
+    fetchAdd(Addr addr, std::uint32_t amount, Scope scope,
+             SyncSemantics sem = SyncSemantics::AcquireRelease) const
+    {
+        SyncOp op;
+        op.func = AtomicFunc::FetchAdd;
+        op.addr = addr;
+        op.operand = amount;
+        op.scope = scope;
+        op.sem = sem;
+        return op;
+    }
+
+    SyncOp
+    compareSwap(Addr addr, std::uint32_t expected,
+                std::uint32_t desired, Scope scope,
+                SyncSemantics sem = SyncSemantics::AcquireRelease)
+        const
+    {
+        SyncOp op;
+        op.func = AtomicFunc::CompareSwap;
+        op.addr = addr;
+        op.compare = expected;
+        op.operand = desired;
+        op.scope = scope;
+        op.sem = sem;
+        return op;
+    }
+
+    SyncOp
+    exchange(Addr addr, std::uint32_t desired, Scope scope,
+             SyncSemantics sem = SyncSemantics::AcquireRelease) const
+    {
+        SyncOp op;
+        op.func = AtomicFunc::Exchange;
+        op.addr = addr;
+        op.operand = desired;
+        op.scope = scope;
+        op.sem = sem;
+        return op;
+    }
+
+  private:
+    EventQueue &_eq;
+    L1Controller &_l1;
+    EnergyModel &_energy;
+    Rng _rng;
+    unsigned _kernel;
+    unsigned _tbGlobal;
+    unsigned _cu;
+    unsigned _tbOnCu;
+    unsigned _numCus;
+    unsigned _tbsPerCu;
+};
+
+} // namespace nosync
+
+#endif // GPU_TB_CONTEXT_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Workload abstraction: a benchmark is a memory layout, a sequence of
+ * kernels, a per-thread-block coroutine, and a functional check.
+ */
+
+#ifndef GPU_WORKLOAD_HH
+#define GPU_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/sim_task.hh"
+#include "gpu/tb_context.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/**
+ * Facilities a workload uses to set up and validate memory, provided
+ * by the System. Initialization writes are functional (they model
+ * CPU-side input preparation before the first kernel); debug reads
+ * are coherent across the whole simulated hierarchy.
+ */
+class WorkloadEnv
+{
+  public:
+    virtual ~WorkloadEnv() = default;
+
+    /** Allocate @p bytes of line-aligned global memory. */
+    virtual Addr alloc(Addr bytes) = 0;
+
+    /** Functional pre-simulation write (CPU input preparation). */
+    virtual void writeInit(Addr addr, std::uint32_t value) = 0;
+
+    /** Coherent post-simulation read (checks / CPU output read). */
+    virtual std::uint32_t debugRead(Addr addr) = 0;
+
+    /** Declare a read-only region (consumed by DD+RO). */
+    virtual void declareReadOnly(Addr base, Addr bytes) = 0;
+
+    /** Number of GPU compute units in the system. */
+    virtual unsigned numCus() const = 0;
+
+    /** The configuration's consistency model supports scopes. */
+    virtual bool hrf() const = 0;
+};
+
+/** Static description of one kernel launch. */
+struct KernelInfo
+{
+    /** Thread blocks in the grid. */
+    unsigned numTbs;
+};
+
+/** Base class for every benchmark in Table 4. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as used in the paper (e.g. "SPM_L"). */
+    virtual std::string name() const = 0;
+
+    /** Allocate and initialize memory; called once before kernel 0. */
+    virtual void init(WorkloadEnv &env) = 0;
+
+    /** Number of sequential kernel launches. */
+    virtual unsigned numKernels() const { return 1; }
+
+    /** Grid shape of kernel @p k. */
+    virtual KernelInfo kernelInfo(unsigned k) const = 0;
+
+    /** The thread-block program (a coroutine). */
+    virtual SimTask tbMain(TbContext &ctx) = 0;
+
+    /**
+     * Functional validation after the run.
+     * @return human-readable failure descriptions; empty on success.
+     */
+    virtual std::vector<std::string> check(WorkloadEnv &env)
+    {
+        (void)env;
+        return {};
+    }
+};
+
+} // namespace nosync
+
+#endif // GPU_WORKLOAD_HH

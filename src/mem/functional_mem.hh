@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional backing store for the unified address space.
+ *
+ * Holds the architectural contents of DRAM at word granularity. Timing
+ * components (L2 banks) read and write lines here when they miss or
+ * write back; the store itself is untimed.
+ */
+
+#ifndef MEM_FUNCTIONAL_MEM_HH
+#define MEM_FUNCTIONAL_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Contents of one cache line. */
+using LineData = std::array<std::uint32_t, kWordsPerLine>;
+
+/** Sparse word-addressable memory image; unwritten words read as 0. */
+class FunctionalMem
+{
+  public:
+    /** Read one word. */
+    std::uint32_t
+    readWord(Addr addr) const
+    {
+        auto it = _lines.find(lineAlign(addr));
+        if (it == _lines.end())
+            return 0;
+        return it->second[wordInLine(addr)];
+    }
+
+    /** Write one word. */
+    void
+    writeWord(Addr addr, std::uint32_t value)
+    {
+        _lines[lineAlign(addr)][wordInLine(addr)] = value;
+    }
+
+    /** Read a whole line (zero-filled if untouched). */
+    LineData
+    readLine(Addr line_addr) const
+    {
+        auto it = _lines.find(lineAlign(line_addr));
+        if (it == _lines.end())
+            return LineData{};
+        return it->second;
+    }
+
+    /** Write back the words selected by @p mask from @p data. */
+    void
+    writeLineMasked(Addr line_addr, const LineData &data, WordMask mask)
+    {
+        LineData &line = _lines[lineAlign(line_addr)];
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (mask & (1u << w))
+                line[w] = data[w];
+        }
+    }
+
+    /** Number of lines ever touched. */
+    std::size_t footprintLines() const { return _lines.size(); }
+
+  private:
+    std::unordered_map<Addr, LineData> _lines;
+};
+
+} // namespace nosync
+
+#endif // MEM_FUNCTIONAL_MEM_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Miss status holding register table.
+ *
+ * Tracks outstanding transactions per cache line. The payload type is
+ * protocol-specific (each controller defines what it must remember for
+ * an in-flight line), so the table is a small template providing
+ * allocation, lookup, and capacity accounting.
+ */
+
+#ifndef MEM_MSHR_HH
+#define MEM_MSHR_HH
+
+#include <map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/**
+ * MSHR table keyed by line address.
+ *
+ * Backed by std::map so payload pointers stay valid across
+ * insertions: handler code frequently resumes workload coroutines
+ * that immediately issue new requests (allocating entries) while the
+ * handler still holds a payload pointer. Erasure still invalidates,
+ * so handlers re-find() after running callbacks.
+ */
+template <typename PayloadT>
+class MshrTable
+{
+  public:
+    explicit MshrTable(std::size_t capacity) : _capacity(capacity) {}
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return _entries.size(); }
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /** Find the entry for @p line_addr, or nullptr. */
+    PayloadT *
+    find(Addr line_addr)
+    {
+        auto it = _entries.find(lineAlign(line_addr));
+        return it == _entries.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Allocate a fresh entry.
+     * @pre no entry exists for the line and the table is not full
+     */
+    PayloadT &
+    allocate(Addr line_addr)
+    {
+        line_addr = lineAlign(line_addr);
+        panic_if(full(), "MSHR table overflow");
+        auto [it, inserted] = _entries.try_emplace(line_addr);
+        panic_if(!inserted, "duplicate MSHR allocation for line ",
+                 line_addr);
+        return it->second;
+    }
+
+    /** Release the entry for @p line_addr. */
+    void
+    deallocate(Addr line_addr)
+    {
+        std::size_t erased = _entries.erase(lineAlign(line_addr));
+        panic_if(erased == 0, "deallocating absent MSHR entry");
+    }
+
+    /** Iterate over all entries (diagnostics only). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &kv : _entries)
+            fn(kv.first, kv.second);
+    }
+
+  private:
+    std::size_t _capacity;
+    std::map<Addr, PayloadT> _entries;
+};
+
+} // namespace nosync
+
+#endif // MEM_MSHR_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Coalescing store buffer.
+ *
+ * Both protocol families buffer data stores next to the L1 (Table 3:
+ * 256 entries). Entries are word-granularity and coalesce: a second
+ * store to a buffered word overwrites in place. On a release (or
+ * overflow, or kernel end) the controller drains the buffer — GPU
+ * coherence writes the words through to the L2; DeNovo issues
+ * registration (ownership) requests instead.
+ */
+
+#ifndef MEM_STORE_BUFFER_HH
+#define MEM_STORE_BUFFER_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Word-granularity coalescing write buffer. */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(std::size_t capacity) : _capacity(capacity) {}
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /** Whether a buffered store to @p addr exists. */
+    bool
+    contains(Addr addr) const
+    {
+        return _entries.count(wordAlign(addr)) != 0;
+    }
+
+    /** Value of the buffered store to @p addr. @pre contains(addr) */
+    std::uint32_t
+    value(Addr addr) const
+    {
+        auto it = _entries.find(wordAlign(addr));
+        panic_if(it == _entries.end(), "store buffer miss on value()");
+        return it->second;
+    }
+
+    /**
+     * Insert or coalesce a store.
+     * @return true if the store coalesced into an existing entry.
+     * @pre !full() unless the word is already buffered
+     */
+    bool
+    insert(Addr addr, std::uint32_t value)
+    {
+        Addr waddr = wordAlign(addr);
+        auto it = _entries.find(waddr);
+        if (it != _entries.end()) {
+            it->second = value;
+            return true;
+        }
+        panic_if(full(), "store buffer overflow must be drained by the "
+                 "controller before insert");
+        _entries.emplace(waddr, value);
+        return false;
+    }
+
+    /** Remove the entry for @p addr if present. */
+    void erase(Addr addr) { _entries.erase(wordAlign(addr)); }
+
+    /** Drop every entry. */
+    void clear() { _entries.clear(); }
+
+    /** One line's worth of drained stores. */
+    struct DrainGroup
+    {
+        Addr lineAddr;
+        WordMask mask;
+        LineData data;
+    };
+
+    /**
+     * Collect all buffered stores grouped by cache line, clearing the
+     * buffer. Groups are ordered by line address for determinism.
+     */
+    std::vector<DrainGroup>
+    drain()
+    {
+        std::map<Addr, DrainGroup> groups;
+        for (const auto &kv : _entries) {
+            Addr line_addr = lineAlign(kv.first);
+            auto [it, inserted] = groups.try_emplace(
+                line_addr, DrainGroup{line_addr, 0, LineData{}});
+            unsigned w = wordInLine(kv.first);
+            it->second.mask |= static_cast<WordMask>(1u << w);
+            it->second.data[w] = kv.second;
+        }
+        _entries.clear();
+        std::vector<DrainGroup> out;
+        out.reserve(groups.size());
+        for (auto &kv : groups)
+            out.push_back(kv.second);
+        return out;
+    }
+
+  private:
+    std::size_t _capacity;
+    std::unordered_map<Addr, std::uint32_t> _entries;
+};
+
+} // namespace nosync
+
+#endif // MEM_STORE_BUFFER_HH

@@ -1,0 +1,126 @@
+#include "noc/mesh.hh"
+
+#include <cstdlib>
+
+namespace nosync
+{
+
+Mesh::Mesh(EventQueue &eq, stats::StatSet &stats,
+           const MeshParams &params)
+    : SimObject("mesh", eq), _params(params),
+      _flitCrossings(stats.vector("noc.flit_crossings",
+                                  "flit-link crossings by class",
+                                  trafficClassNames())),
+      _messages(stats.vector("noc.messages",
+                             "messages injected by class",
+                             trafficClassNames()))
+{
+    // Each node has up to 4 outgoing links; index = node * 4 + dir.
+    _linkFree.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+}
+
+unsigned
+Mesh::hops(NodeId src, NodeId dst) const
+{
+    int sx = src % static_cast<int>(_params.width);
+    int sy = src / static_cast<int>(_params.width);
+    int dx = dst % static_cast<int>(_params.width);
+    int dy = dst / static_cast<int>(_params.width);
+    return static_cast<unsigned>(std::abs(sx - dx) + std::abs(sy - dy));
+}
+
+NodeId
+Mesh::nextHop(NodeId at, NodeId dst) const
+{
+    int w = static_cast<int>(_params.width);
+    int ax = at % w, ay = at / w;
+    int dx = dst % w, dy = dst / w;
+    // X first, then Y (dimension-ordered, deadlock-free).
+    if (ax < dx)
+        return at + 1;
+    if (ax > dx)
+        return at - 1;
+    if (ay < dy)
+        return at + w;
+    return at - w;
+}
+
+std::size_t
+Mesh::linkIndex(NodeId from, NodeId to) const
+{
+    int w = static_cast<int>(_params.width);
+    int dir;
+    if (to == from + 1)
+        dir = 0; // east
+    else if (to == from - 1)
+        dir = 1; // west
+    else if (to == from + w)
+        dir = 2; // south
+    else
+        dir = 3; // north
+    return static_cast<std::size_t>(from) * 4 +
+           static_cast<std::size_t>(dir);
+}
+
+void
+Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
+           std::function<void()> deliver)
+{
+    panic_if(src < 0 || dst < 0 ||
+                 static_cast<unsigned>(src) >= numNodes() ||
+                 static_cast<unsigned>(dst) >= numNodes(),
+             "mesh.send with bad endpoints ", src, " -> ", dst);
+    auto cls_idx = static_cast<std::size_t>(cls);
+    _messages.add(cls_idx);
+
+    if (src == dst) {
+        // Local slice access: no link crossings, small fixed delay.
+        scheduleIn(_params.localLatency, std::move(deliver),
+                   EventPriority::NetworkDelivery);
+        return;
+    }
+
+    unsigned num_hops = hops(src, dst);
+    _flitCrossings.add(cls_idx,
+                       static_cast<double>(flits) * num_hops);
+
+    // Walk the XY route accumulating serialization and queueing
+    // delay on every link crossed.
+    Tick t = curTick();
+    NodeId at = src;
+    while (at != dst) {
+        NodeId next = nextHop(at, dst);
+        Tick &free_at = _linkFree[linkIndex(at, next)];
+        Tick start = std::max(t, free_at);
+        free_at = start + flits; // 1 flit / cycle / link
+        t = start + flits + _params.hopLatency;
+        at = next;
+    }
+
+    eventQueue().schedule(t, std::move(deliver),
+                          EventPriority::NetworkDelivery);
+}
+
+Cycles
+Mesh::uncontendedLatency(NodeId src, NodeId dst, unsigned flits) const
+{
+    if (src == dst)
+        return _params.localLatency;
+    unsigned num_hops = hops(src, dst);
+    return static_cast<Cycles>(num_hops) *
+           (_params.hopLatency + flits);
+}
+
+double
+Mesh::flitCrossings(TrafficClass cls) const
+{
+    return _flitCrossings.value(static_cast<std::size_t>(cls));
+}
+
+double
+Mesh::totalFlitCrossings() const
+{
+    return _flitCrossings.total();
+}
+
+} // namespace nosync

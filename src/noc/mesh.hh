@@ -1,0 +1,92 @@
+/**
+ * @file
+ * 4x4 mesh interconnect model (Garnet-inspired).
+ *
+ * Dimension-ordered (XY) routing over a WxH grid. Each unidirectional
+ * link has one-flit-per-cycle bandwidth; a message serializes onto
+ * every link it crosses and inherits queueing delay when links are
+ * busy, which captures the bursty-writethrough contention that the
+ * paper's GPU-coherence discussion hinges on. Flit crossings
+ * (flits x links) are accounted per traffic class.
+ *
+ * Delivery is closure-based: the sender provides the action to run at
+ * the destination when the message arrives, keeping the network
+ * independent of protocol message formats.
+ */
+
+#ifndef NOC_MESH_HH
+#define NOC_MESH_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "noc/traffic.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Timing/size parameters of the mesh. */
+struct MeshParams
+{
+    unsigned width = 4;
+    unsigned height = 4;
+    /** Per-hop router+link pipeline latency (cycles). */
+    Cycles hopLatency = 3;
+    /** Latency for a node talking to its own local slice. */
+    Cycles localLatency = 1;
+};
+
+/** 2D mesh with XY routing and per-link serialization. */
+class Mesh : public SimObject
+{
+  public:
+    Mesh(EventQueue &eq, stats::StatSet &stats,
+         const MeshParams &params = MeshParams{});
+
+    unsigned numNodes() const { return _params.width * _params.height; }
+
+    /** Manhattan hop count between two nodes. */
+    unsigned hops(NodeId src, NodeId dst) const;
+
+    /**
+     * Send a message of @p flits flits from @p src to @p dst; @p
+     * deliver runs at the destination's arrival tick.
+     */
+    void send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
+              std::function<void()> deliver);
+
+    /**
+     * Best-case (uncontended) one-way latency between two nodes for a
+     * message of @p flits flits. Used by tests and latency tables.
+     */
+    Cycles uncontendedLatency(NodeId src, NodeId dst,
+                              unsigned flits) const;
+
+    /** Total flit crossings in @p cls so far. */
+    double flitCrossings(TrafficClass cls) const;
+
+    /** Total flit crossings across all classes. */
+    double totalFlitCrossings() const;
+
+  private:
+    /** Index of the unidirectional link from @p from to @p to. */
+    std::size_t linkIndex(NodeId from, NodeId to) const;
+
+    /** Next node on the XY route from @p at toward @p dst. */
+    NodeId nextHop(NodeId at, NodeId dst) const;
+
+    MeshParams _params;
+    /** Earliest tick each unidirectional link is free. */
+    std::vector<Tick> _linkFree;
+    stats::Vector &_flitCrossings;
+    stats::Vector &_messages;
+};
+
+} // namespace nosync
+
+#endif // NOC_MESH_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Network traffic classification.
+ *
+ * The paper reports network traffic in flit crossings split into four
+ * classes (Figures 2c/3c/4c): data reads, data registrations (writes),
+ * writebacks/writethroughs, and atomics. Every message a controller
+ * sends is tagged with one of these.
+ */
+
+#ifndef NOC_TRAFFIC_HH
+#define NOC_TRAFFIC_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Traffic class of a network message. */
+enum class TrafficClass : unsigned
+{
+    Read = 0,      ///< data read requests/responses
+    Registration,  ///< ownership (registration) requests/responses
+    WriteBack,     ///< writethroughs, writebacks, and their acks
+    Atomic,        ///< synchronization (atomic) requests/responses
+    NumClasses,
+};
+
+constexpr std::size_t kNumTrafficClasses =
+    static_cast<std::size_t>(TrafficClass::NumClasses);
+
+/** Human-readable class names matching the paper's legend. */
+inline const std::vector<std::string> &
+trafficClassNames()
+{
+    static const std::vector<std::string> names = {
+        "Read", "Regist", "WB_WT", "Atomics"};
+    return names;
+}
+
+/** Flit geometry: 16-byte flits, one header flit per message. */
+constexpr unsigned kFlitBytes = 16;
+
+/** Flits needed for a message carrying @p payload_bytes of data. */
+constexpr unsigned
+flitsForPayload(unsigned payload_bytes)
+{
+    return 1 + (payload_bytes + kFlitBytes - 1) / kFlitBytes;
+}
+
+/** Flits for a control-only message. */
+constexpr unsigned kControlFlits = 1;
+
+/** Flits for a full-line data message. */
+constexpr unsigned kLineFlits = flitsForPayload(kLineBytes);
+
+/** Flits for a message carrying @p words words of data. */
+constexpr unsigned
+flitsForWords(unsigned words)
+{
+    return flitsForPayload(words * kWordBytes);
+}
+
+} // namespace nosync
+
+#endif // NOC_TRAFFIC_HH

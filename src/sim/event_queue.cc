@@ -1,0 +1,36 @@
+#include "event_queue.hh"
+
+namespace nosync
+{
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!_events.empty() && _events.top().when <= limit) {
+        // Copy out: the callback may schedule new events and thus
+        // invalidate the top reference.
+        Event ev = _events.top();
+        _events.pop();
+        _now = ev.when;
+        ++_executed;
+        ev.fn();
+    }
+    if (_now < limit && !_events.empty())
+        _now = limit;
+    return _now;
+}
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+    Event ev = _events.top();
+    _events.pop();
+    _now = ev.when;
+    ++_executed;
+    ev.fn();
+    return true;
+}
+
+} // namespace nosync

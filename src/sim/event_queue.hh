@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic discrete-event scheduler.
+ *
+ * All timing simulation in gpu-nosync is driven by a single EventQueue.
+ * Events scheduled for the same tick fire in the order they were
+ * scheduled (FIFO), which together with the deterministic RNG makes
+ * every simulation fully reproducible.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace nosync
+{
+
+/** Priority for events that share a tick; lower runs first. */
+enum class EventPriority : int
+{
+    NetworkDelivery = 0,
+    Default = 1,
+    CuIssue = 2,
+    Stats = 3,
+};
+
+/**
+ * A single-owner discrete-event queue.
+ *
+ * Callbacks are std::function thunks; components capture `this` and
+ * whatever request state they need. The queue never runs callbacks
+ * re-entrantly: schedule() during a callback enqueues for later.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, std::function<void()> fn,
+             EventPriority prio = EventPriority::Default)
+    {
+        panic_if(when < _now, "scheduling event in the past (", when,
+                 " < ", _now, ")");
+        _events.push(Event{when, static_cast<int>(prio), _nextSeq++,
+                           std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleIn(Cycles delay, std::function<void()> fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(_now + delay, std::move(fn), prio);
+    }
+
+    /** Whether any events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _events.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit ticks elapse.
+     * @return the tick of the last executed event.
+     */
+    Tick run(Tick limit = ~Tick{0});
+
+    /** Execute at most one event. @return false if queue was empty. */
+    bool step();
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (prio != other.prio)
+                return prio > other.prio;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        _events;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace nosync
+
+#endif // SIM_EVENT_QUEUE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small deterministic pseudo-random number generator.
+ *
+ * Workload generators (e.g. UTS tree shapes, backoff jitter) must be
+ * reproducible across runs and configurations, so they each own a
+ * seeded Rng rather than sharing global state.
+ */
+
+#ifndef SIM_RNG_HH
+#define SIM_RNG_HH
+
+#include <cstdint>
+
+namespace nosync
+{
+
+/** xorshift128+ generator; fast, decent quality, fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to avoid weak low-entropy states.
+        auto split_mix = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        _s0 = split_mix();
+        _s1 = split_mix();
+        if (_s0 == 0 && _s1 == 0)
+            _s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = _s0;
+        const std::uint64_t y = _s1;
+        _s0 = y;
+        x ^= x << 23;
+        _s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return _s1 + y;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t _s0;
+    std::uint64_t _s1;
+};
+
+} // namespace nosync
+
+#endif // SIM_RNG_HH

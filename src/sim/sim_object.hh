@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ */
+
+#ifndef SIM_SIM_OBJECT_HH
+#define SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "event_queue.hh"
+#include "types.hh"
+
+namespace nosync
+{
+
+/**
+ * A named component attached to an event queue.
+ *
+ * Provides convenience scheduling wrappers so components express
+ * latencies as relative delays.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    Tick curTick() const { return _eq.now(); }
+    EventQueue &eventQueue() { return _eq; }
+
+  protected:
+    /** Schedule a member callback @p delay cycles from now. */
+    void
+    scheduleIn(Cycles delay, std::function<void()> fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        _eq.scheduleIn(delay, std::move(fn), prio);
+    }
+
+  private:
+    std::string _name;
+    EventQueue &_eq;
+};
+
+} // namespace nosync
+
+#endif // SIM_SIM_OBJECT_HH

@@ -1,0 +1,93 @@
+#include "stats.hh"
+
+#include <sstream>
+
+#include "logging.hh"
+
+namespace nosync
+{
+namespace stats
+{
+
+Scalar &
+StatSet::scalar(const std::string &name, const std::string &desc)
+{
+    auto it = _scalars.find(name);
+    if (it != _scalars.end())
+        return *it->second;
+    auto stat = std::make_unique<Scalar>(name, desc);
+    Scalar &ref = *stat;
+    _scalars.emplace(name, std::move(stat));
+    return ref;
+}
+
+Vector &
+StatSet::vector(const std::string &name, const std::string &desc,
+                const std::vector<std::string> &subnames)
+{
+    auto it = _vectors.find(name);
+    if (it != _vectors.end()) {
+        panic_if(it->second->size() != subnames.size(),
+                 "vector stat ", name, " re-registered with different "
+                 "shape");
+        return *it->second;
+    }
+    auto stat = std::make_unique<Vector>(name, desc, subnames);
+    Vector &ref = *stat;
+    _vectors.emplace(name, std::move(stat));
+    return ref;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = _scalars.find(name);
+    return it == _scalars.end() ? 0.0 : it->second->value();
+}
+
+double
+StatSet::getVec(const std::string &name, const std::string &subname)
+    const
+{
+    auto it = _vectors.find(name);
+    if (it == _vectors.end())
+        return 0.0;
+    const Vector &vec = *it->second;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (vec.subname(i) == subname)
+            return vec.value(i);
+    }
+    return 0.0;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &kv : _scalars)
+        kv.second->reset();
+    for (auto &kv : _vectors)
+        kv.second->reset();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : _scalars) {
+        os << kv.first << " " << kv.second->value() << " # "
+           << kv.second->desc() << "\n";
+    }
+    for (const auto &kv : _vectors) {
+        const Vector &vec = *kv.second;
+        for (std::size_t i = 0; i < vec.size(); ++i) {
+            os << kv.first << "::" << vec.subname(i) << " "
+               << vec.value(i) << "\n";
+        }
+        os << kv.first << "::total " << vec.total() << " # "
+           << vec.desc() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace nosync

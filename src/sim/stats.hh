@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components create named Scalar / Vector statistics inside a StatSet
+ * registry. The registry can dump a sorted human-readable report and
+ * supports programmatic lookup, which the benchmark harnesses use to
+ * regenerate the paper's figures.
+ */
+
+#ifndef SIM_STATS_HH
+#define SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nosync
+{
+namespace stats
+{
+
+/** A single named accumulating value. */
+class Scalar
+{
+  public:
+    Scalar(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    double value() const { return _value; }
+
+    Scalar &
+    operator+=(double v)
+    {
+        _value += v;
+        return *this;
+    }
+
+    Scalar &
+    operator++()
+    {
+        _value += 1.0;
+        return *this;
+    }
+
+    void set(double v) { _value = v; }
+    void reset() { _value = 0.0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/** A named vector of accumulating values with per-entry subnames. */
+class Vector
+{
+  public:
+    Vector(std::string name, std::string desc,
+           std::vector<std::string> subnames)
+        : _name(std::move(name)), _desc(std::move(desc)),
+          _subnames(std::move(subnames)), _values(_subnames.size(), 0.0)
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    std::size_t size() const { return _values.size(); }
+    const std::string &subname(std::size_t i) const
+    {
+        return _subnames[i];
+    }
+
+    double value(std::size_t i) const { return _values[i]; }
+
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (double v : _values)
+            sum += v;
+        return sum;
+    }
+
+    void add(std::size_t i, double v = 1.0) { _values[i] += v; }
+    void reset() { _values.assign(_values.size(), 0.0); }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::vector<std::string> _subnames;
+    std::vector<double> _values;
+};
+
+/**
+ * Registry of statistics, typically one per simulated System.
+ *
+ * Statistics are owned by the set and handed out as references so that
+ * components can update them without lookup cost on the hot path.
+ */
+class StatSet
+{
+  public:
+    /** Create (or retrieve an identically named) scalar statistic. */
+    Scalar &scalar(const std::string &name, const std::string &desc);
+
+    /** Create (or retrieve) a vector statistic. */
+    Vector &vector(const std::string &name, const std::string &desc,
+                   const std::vector<std::string> &subnames);
+
+    /** Look up a scalar's value; returns 0 when absent. */
+    double get(const std::string &name) const;
+
+    /** Look up one entry of a vector by "name::subname" convention. */
+    double getVec(const std::string &name,
+                  const std::string &subname) const;
+
+    /** Reset every statistic to zero. */
+    void resetAll();
+
+    /** Render the full sorted report. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Scalar>> _scalars;
+    std::map<std::string, std::unique_ptr<Vector>> _vectors;
+};
+
+} // namespace stats
+} // namespace nosync
+
+#endif // SIM_STATS_HH

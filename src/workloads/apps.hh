@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Applications without intra-kernel synchronization (Table 4, top).
+ *
+ * Access-pattern models of the ten Rodinia/Parboil applications the
+ * paper evaluates. Each reproduces the memory behaviour that drives
+ * the paper's Figure 2 results — streaming reads, stencil halos,
+ * wavefronts, scratchpad-tiled GEMM, and LavaMD's repeated
+ * force-accumulation writes that overflow the store buffer — using
+ * integer arithmetic so every output word is functionally checkable.
+ * Input sizes are scaled down from Table 4 to simulation-friendly
+ * sizes; DESIGN.md records the mapping.
+ */
+
+#ifndef WORKLOADS_APPS_HH
+#define WORKLOADS_APPS_HH
+
+#include <vector>
+
+#include "gpu/workload.hh"
+
+namespace nosync
+{
+
+/** Backprop (BP): two-layer forward pass + weight update. */
+class Backprop : public Workload
+{
+  public:
+    explicit Backprop(unsigned in_units = 128, unsigned hid_units = 64);
+    std::string name() const override { return "BP"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return 2; }
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _in, _hid;
+    Addr _input = 0, _weights = 0, _hidden = 0;
+    std::vector<std::uint32_t> _expectHidden, _expectWeights;
+};
+
+/** Pathfinder (PF): row-by-row grid DP, one kernel per row. */
+class Pathfinder : public Workload
+{
+  public:
+    explicit Pathfinder(unsigned cols = 2048, unsigned rows = 8);
+    std::string name() const override { return "PF"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return _rows; }
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _cols, _rows;
+    Addr _wall = 0, _buf[2] = {0, 0};
+    std::vector<std::uint32_t> _expect;
+};
+
+/** LU decomposition (LUD): trailing-submatrix updates per step. */
+class Lud : public Workload
+{
+  public:
+    explicit Lud(unsigned n = 48, unsigned steps = 12);
+    std::string name() const override { return "LUD"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return _steps; }
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _n, _steps;
+    Addr _matrix = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+/** Needleman-Wunsch (NW): wavefront DP over diagonal blocks. */
+class Nw : public Workload
+{
+  public:
+    explicit Nw(unsigned n = 96, unsigned block = 8);
+    std::string name() const override { return "NW"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _n, _block, _blocksPerSide;
+    Addr _score = 0, _ref = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+/** SGEMM: scratchpad-tiled integer matrix multiply. */
+class Sgemm : public Workload
+{
+  public:
+    explicit Sgemm(unsigned n = 96, unsigned tile = 16);
+    std::string name() const override { return "SGEMM"; }
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _n, _tile;
+    Addr _a = 0, _b = 0, _c = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+/** Stencil (ST): iterated 5-point stencil, double buffered. */
+class Stencil : public Workload
+{
+  public:
+    explicit Stencil(unsigned dim = 64, unsigned iters = 4);
+    std::string name() const override { return "ST"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return _iters; }
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _dim, _iters;
+    Addr _buf[2] = {0, 0};
+    std::vector<std::uint32_t> _expect;
+};
+
+/** Hotspot (HS): stencil with a read-only power map. */
+class Hotspot : public Workload
+{
+  public:
+    explicit Hotspot(unsigned dim = 64, unsigned iters = 2);
+    std::string name() const override { return "HS"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return _iters; }
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _dim, _iters;
+    Addr _power = 0, _buf[2] = {0, 0};
+    std::vector<std::uint32_t> _expect;
+};
+
+/** Nearest neighbor (NN): streaming scan over read-only records. */
+class Nn : public Workload
+{
+  public:
+    explicit Nn(unsigned records = 8192, unsigned tbs = 30);
+    std::string name() const override { return "NN"; }
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _records, _tbs;
+    Addr _data = 0, _results = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+/** SRAD v2: two-kernel diffusion iteration. */
+class Srad : public Workload
+{
+  public:
+    explicit Srad(unsigned dim = 64, unsigned iters = 2);
+    std::string name() const override { return "SRAD"; }
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return 2 * _iters; }
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned _dim, _iters;
+    Addr _img = 0, _coef = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+/** LavaMD (LAVA): per-box force accumulation with heavy rewrites. */
+class LavaMd : public Workload
+{
+  public:
+    explicit LavaMd(unsigned boxes_per_dim = 4,
+                    unsigned particles = 20);
+    std::string name() const override { return "LAVA"; }
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    unsigned boxId(unsigned x, unsigned y, unsigned z) const;
+
+    unsigned _dim, _particles, _numBoxes;
+    Addr _pos = 0, _force = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+} // namespace nosync
+
+#endif // WORKLOADS_APPS_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Synchronization microbenchmarks (Table 4, bottom).
+ *
+ * Mutex benchmarks (FAM/SLM/SPM/SPMBO, _G and _L), reader-writer
+ * spin semaphores (SS_L/SSBO_L), and tree barriers with data exchange
+ * (TB_LG/TBEX_LG). All run 3 TBs per CU and execute the critical
+ * section / barrier many times; every benchmark carries a functional
+ * check that fails if the protocol under test ever leaked a stale
+ * value or broke mutual exclusion.
+ */
+
+#ifndef WORKLOADS_MICROBENCH_HH
+#define WORKLOADS_MICROBENCH_HH
+
+#include <vector>
+
+#include "gpu/workload.hh"
+#include "workloads/sync_primitives.hh"
+
+namespace nosync
+{
+
+/** Shared scale parameters (paper defaults; tests shrink them). */
+struct MicrobenchParams
+{
+    unsigned tbsPerCu = 3;
+    unsigned iterations = 100;
+    /** Data accesses per thread per critical section (Table 4). */
+    unsigned workWords = 10;
+    /** Threads per thread block; accesses are warp-coalesced. */
+    unsigned threads = 64;
+
+    /** Words touched by one thread block per critical section. */
+    unsigned
+    footprintWords() const
+    {
+        return workWords * threads;
+    }
+};
+
+/**
+ * Mutex microbenchmark.
+ *
+ * Global variant: one mutex, one shared data array incremented by
+ * every thread block. Local variant: one mutex and one data array per
+ * CU (unique data per CU), synchronized with local scope.
+ */
+class MutexBench : public Workload
+{
+  public:
+    MutexBench(MutexKind kind, bool local,
+               MicrobenchParams params = {});
+
+    std::string name() const override;
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    MutexKind _kind;
+    bool _local;
+    MicrobenchParams _params;
+    unsigned _numCus = 0;
+    std::vector<MutexAddrs> _mutexes; ///< one (local) or one total
+    std::vector<Addr> _data;          ///< per-CU (local) or single
+    std::vector<Addr> _roInput;       ///< read-only region per group
+};
+
+/**
+ * Reader-writer spin semaphore benchmark (SS_L / SSBO_L).
+ *
+ * Per CU: one writer thread block and two readers. Readers take one
+ * semaphore unit and read their half of the CU's data; the writer
+ * takes the whole semaphore and shifts the data right (all elements
+ * written except the first of each reader's half).
+ */
+class SemaphoreBench : public Workload
+{
+  public:
+    explicit SemaphoreBench(bool backoff, MicrobenchParams params = {});
+
+    std::string name() const override;
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    static constexpr std::uint32_t kReaders = 2;
+
+    bool _backoff;
+    MicrobenchParams _params;
+    unsigned _numCus = 0;
+    std::vector<SemaphoreAddrs> _sems; ///< per CU
+    std::vector<Addr> _data;           ///< per CU, 2 halves
+    Addr _violations = 0;              ///< per-TB race counters
+};
+
+/**
+ * Tree barrier benchmark (TB_LG / TBEX_LG).
+ *
+ * Each iteration: thread blocks increment their own chunk, join a
+ * local (per-CU) barrier, one representative per CU joins the global
+ * barrier, and after release every thread block reads a chunk written
+ * on another CU (data exchange). The TBEX variant additionally
+ * exchanges chunks locally before the global barrier. The cross-CU
+ * reads double as a visibility check: every value read is exactly
+ * determined by the barrier structure.
+ */
+class TreeBarrierBench : public Workload
+{
+  public:
+    explicit TreeBarrierBench(bool local_exchange,
+                              MicrobenchParams params = {});
+
+    std::string name() const override;
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+  private:
+    Addr chunkAddr(unsigned tb_global, unsigned word) const;
+
+    bool _localExchange;
+    MicrobenchParams _params;
+    unsigned _numCus = 0;
+    unsigned _numTbs = 0;
+    std::vector<BarrierAddrs> _localBarriers; ///< per CU
+    BarrierAddrs _globalBarrier{};
+    Addr _chunks = 0;  ///< numTbs x workWords
+    Addr _results = 0; ///< per-TB exchange checksums
+};
+
+} // namespace nosync
+
+#endif // WORKLOADS_MICROBENCH_HH

@@ -1,0 +1,213 @@
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/microbench.hh"
+#include "workloads/uts.hh"
+
+namespace nosync
+{
+
+namespace
+{
+
+MicrobenchParams
+scaledMicro(unsigned scale_percent)
+{
+    MicrobenchParams params;
+    params.iterations =
+        std::max(10u, params.iterations * scale_percent / 100);
+    params.threads =
+        std::max(8u, params.threads * scale_percent / 100);
+    return params;
+}
+
+UtsParams
+scaledUts(unsigned scale_percent)
+{
+    UtsParams params;
+    params.numNodes =
+        std::max(512u, params.numNodes * scale_percent / 100);
+    return params;
+}
+
+} // namespace
+
+const std::vector<WorkloadDesc> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadDesc> registry = {
+        // Applications without intra-kernel synchronization.
+        {"BP", "no-sync", "512-in x 128-hid layer",
+         [] { return std::make_unique<Backprop>(512, 128); }},
+        {"PF", "no-sync", "10 x 100K grid",
+         [] { return std::make_unique<Pathfinder>(100000, 10); }},
+        {"LUD", "no-sync", "128x128 matrix, 32 steps",
+         [] { return std::make_unique<Lud>(128, 32); }},
+        {"NW", "no-sync", "256x256 matrix, 16x16 blocks",
+         [] { return std::make_unique<Nw>(256, 16); }},
+        {"SGEMM", "no-sync", "256x256, 16x16 tiles",
+         [] { return std::make_unique<Sgemm>(256, 16); }},
+        {"ST", "no-sync", "512x512 grid, 4 iters",
+         [] { return std::make_unique<Stencil>(512, 4); }},
+        {"HS", "no-sync", "512x512 grid, 2 iters",
+         [] { return std::make_unique<Hotspot>(512, 2); }},
+        {"NN", "no-sync", "64K records",
+         [] { return std::make_unique<Nn>(65536, 30); }},
+        {"SRAD", "no-sync", "256x256 image, 2 iters",
+         [] { return std::make_unique<Srad>(256, 2); }},
+        {"LAVA", "no-sync", "4x4x4 boxes, 20 particles",
+         [] { return std::make_unique<LavaMd>(); }},
+
+        // Globally scoped fine-grained synchronization.
+        {"FAM_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::FetchAdd,
+                                                 false);
+         }},
+        {"SLM_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::Sleep,
+                                                 false);
+         }},
+        {"SPM_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::Spin,
+                                                 false);
+         }},
+        {"SPMBO_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(
+                 MutexKind::SpinBackoff, false);
+         }},
+
+        // Locally scoped / hybrid synchronization.
+        {"FAM_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::FetchAdd,
+                                                 true);
+         }},
+        {"SLM_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::Sleep,
+                                                 true);
+         }},
+        {"SPM_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::Spin,
+                                                 true);
+         }},
+        {"SPMBO_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(
+                 MutexKind::SpinBackoff, true);
+         }},
+        {"SS_L", "local-sync", "1 writer + 2 readers/CU, 100 iters",
+         [] { return std::make_unique<SemaphoreBench>(false); }},
+        {"SSBO_L", "local-sync", "1 writer + 2 readers/CU, 100 iters",
+         [] { return std::make_unique<SemaphoreBench>(true); }},
+        {"TB_LG", "local-sync", "3 TB/CU, 100 iters, 10-word chunks",
+         [] { return std::make_unique<TreeBarrierBench>(false); }},
+        {"TBEX_LG", "local-sync", "3 TB/CU, 100 iters, 10-word chunks",
+         [] { return std::make_unique<TreeBarrierBench>(true); }},
+        {"UTS", "local-sync", "16K nodes",
+         [] { return std::make_unique<Uts>(); }},
+    };
+    return registry;
+}
+
+std::vector<const WorkloadDesc *>
+workloadsInGroup(const std::string &group)
+{
+    std::vector<const WorkloadDesc *> out;
+    for (const auto &desc : workloadRegistry()) {
+        if (desc.group == group)
+            out.push_back(&desc);
+    }
+    return out;
+}
+
+const WorkloadDesc *
+findWorkload(const std::string &name)
+{
+    for (const auto &desc : workloadRegistry()) {
+        if (desc.name == name)
+            return &desc;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<Workload>
+makeScaled(const std::string &name, unsigned scale_percent)
+{
+    if (scale_percent >= 100) {
+        const WorkloadDesc *desc = findWorkload(name);
+        fatal_if(!desc, "unknown workload ", name);
+        return desc->make();
+    }
+
+    MicrobenchParams micro = scaledMicro(scale_percent);
+    if (name == "FAM_G")
+        return std::make_unique<MutexBench>(MutexKind::FetchAdd,
+                                            false, micro);
+    if (name == "SLM_G")
+        return std::make_unique<MutexBench>(MutexKind::Sleep, false,
+                                            micro);
+    if (name == "SPM_G")
+        return std::make_unique<MutexBench>(MutexKind::Spin, false,
+                                            micro);
+    if (name == "SPMBO_G")
+        return std::make_unique<MutexBench>(MutexKind::SpinBackoff,
+                                            false, micro);
+    if (name == "FAM_L")
+        return std::make_unique<MutexBench>(MutexKind::FetchAdd, true,
+                                            micro);
+    if (name == "SLM_L")
+        return std::make_unique<MutexBench>(MutexKind::Sleep, true,
+                                            micro);
+    if (name == "SPM_L")
+        return std::make_unique<MutexBench>(MutexKind::Spin, true,
+                                            micro);
+    if (name == "SPMBO_L")
+        return std::make_unique<MutexBench>(MutexKind::SpinBackoff,
+                                            true, micro);
+    if (name == "SS_L")
+        return std::make_unique<SemaphoreBench>(false, micro);
+    if (name == "SSBO_L")
+        return std::make_unique<SemaphoreBench>(true, micro);
+    if (name == "TB_LG")
+        return std::make_unique<TreeBarrierBench>(false, micro);
+    if (name == "TBEX_LG")
+        return std::make_unique<TreeBarrierBench>(true, micro);
+    if (name == "UTS")
+        return std::make_unique<Uts>(scaledUts(scale_percent));
+
+    // Applications: reduced-scale variants keep the same structure.
+    if (name == "BP")
+        return std::make_unique<Backprop>(128, 64);
+    if (name == "PF")
+        return std::make_unique<Pathfinder>(2048, 8);
+    if (name == "LUD")
+        return std::make_unique<Lud>(48, 12);
+    if (name == "NW")
+        return std::make_unique<Nw>(96, 8);
+    if (name == "SGEMM")
+        return std::make_unique<Sgemm>(96, 16);
+    if (name == "ST")
+        return std::make_unique<Stencil>(64, 4);
+    if (name == "HS")
+        return std::make_unique<Hotspot>(64, 2);
+    if (name == "NN")
+        return std::make_unique<Nn>(8192, 30);
+    if (name == "SRAD")
+        return std::make_unique<Srad>(64, 2);
+    if (name == "LAVA")
+        return std::make_unique<LavaMd>(3, 16);
+    const WorkloadDesc *desc = findWorkload(name);
+    fatal_if(!desc, "unknown workload ", name);
+    return desc->make();
+}
+
+} // namespace nosync

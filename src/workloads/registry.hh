@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload registry: name -> factory for every Table 4 benchmark,
+ * grouped the way the paper's figures group them.
+ */
+
+#ifndef WORKLOADS_REGISTRY_HH
+#define WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/workload.hh"
+
+namespace nosync
+{
+
+/** Registry entry: a benchmark and its Table 4 metadata. */
+struct WorkloadDesc
+{
+    std::string name;
+    std::string group; ///< "no-sync" | "global-sync" | "local-sync"
+    std::string input; ///< Table 4 input description (scaled)
+    std::function<std::unique_ptr<Workload>()> make;
+};
+
+/** All benchmarks at paper scale. */
+const std::vector<WorkloadDesc> &workloadRegistry();
+
+/** Benchmarks of one group, in the paper's figure order. */
+std::vector<const WorkloadDesc *> workloadsInGroup(
+    const std::string &group);
+
+/** Look up one benchmark by name; nullptr when unknown. */
+const WorkloadDesc *findWorkload(const std::string &name);
+
+/**
+ * A smaller-scale variant of a benchmark for fast runs (tests, CI):
+ * identical structure, reduced iterations / nodes.
+ */
+std::unique_ptr<Workload> makeScaled(const std::string &name,
+                                     unsigned scale_percent);
+
+} // namespace nosync
+
+#endif // WORKLOADS_REGISTRY_HH

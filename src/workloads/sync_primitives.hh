@@ -1,0 +1,216 @@
+/**
+ * @file
+ * GPU synchronization primitives (after Stuart & Owens [6]).
+ *
+ * Mutexes (fetch-add ticket, sleep, spin, spin+backoff), a spinning
+ * reader-writer semaphore, and sense-reversing barriers, written as
+ * coroutines over TbContext. Every primitive takes a Scope: under HRF
+ * configurations the scope annotation is honored; under DRF it is
+ * ignored and everything synchronizes globally.
+ */
+
+#ifndef WORKLOADS_SYNC_PRIMITIVES_HH
+#define WORKLOADS_SYNC_PRIMITIVES_HH
+
+#include "gpu/sim_task.hh"
+#include "gpu/tb_context.hh"
+
+namespace nosync
+{
+
+/** Mutex algorithm flavours from the microbenchmark suite. */
+enum class MutexKind
+{
+    FetchAdd,    ///< FAM: ticket lock built on fetch-and-add
+    Sleep,       ///< SLM: test-and-set with a fixed sleep on failure
+    Spin,        ///< SPM: bare test-and-set spin
+    SpinBackoff, ///< SPMBO: test-and-set with exponential backoff
+};
+
+/** Memory footprint of a mutex (two words for the ticket lock). */
+struct MutexAddrs
+{
+    Addr lock;    ///< lock word / ticket counter
+    Addr serving; ///< now-serving counter (FetchAdd only)
+};
+
+/** State a holder carries between lock and unlock. */
+struct MutexTicket
+{
+    std::uint32_t ticket = 0;
+};
+
+/** Fixed sleep duration for the sleep mutex (cycles). */
+constexpr Cycles kSleepMutexDelay = 200;
+
+/** Backoff parameters for the *BO variants. */
+constexpr Cycles kBackoffBase = 32;
+constexpr Cycles kBackoffMax = 2048;
+
+/** Acquire @p mutex; fills @p ticket for the matching unlock. */
+inline SimTask
+mutexLock(TbContext &ctx, const MutexAddrs &mutex, MutexKind kind,
+          Scope scope, MutexTicket &ticket)
+{
+    switch (kind) {
+      case MutexKind::FetchAdd: {
+        // Ticket lock: one fetch-add to take a ticket (release-free
+        // read-modify-write used purely to order, so acquire
+        // semantics), then spin on the now-serving word.
+        ticket.ticket = co_await ctx.atomic(
+            ctx.fetchAdd(mutex.lock, 1, scope,
+                         SyncSemantics::AcquireRelease));
+        while (true) {
+            std::uint32_t serving = co_await ctx.atomic(
+                ctx.atomicLoad(mutex.serving, scope));
+            if (serving == ticket.ticket)
+                break;
+        }
+        co_return;
+      }
+      case MutexKind::Sleep: {
+        while (true) {
+            std::uint32_t old = co_await ctx.atomic(
+                ctx.exchange(mutex.lock, 1, scope));
+            if (old == 0)
+                co_return;
+            co_await ctx.wait(kSleepMutexDelay);
+        }
+      }
+      case MutexKind::Spin: {
+        while (true) {
+            std::uint32_t old = co_await ctx.atomic(
+                ctx.exchange(mutex.lock, 1, scope));
+            if (old == 0)
+                co_return;
+        }
+      }
+      case MutexKind::SpinBackoff: {
+        Cycles backoff = kBackoffBase;
+        while (true) {
+            std::uint32_t old = co_await ctx.atomic(
+                ctx.exchange(mutex.lock, 1, scope));
+            if (old == 0)
+                co_return;
+            // Exponential backoff with +-25% jitter.
+            Cycles jitter = backoff / 4;
+            co_await ctx.wait(backoff - jitter +
+                              ctx.rng().below(2 * jitter + 1));
+            backoff = std::min<Cycles>(backoff * 2, kBackoffMax);
+        }
+      }
+    }
+}
+
+/** Release @p mutex taken with @p ticket. */
+inline SimTask
+mutexUnlock(TbContext &ctx, const MutexAddrs &mutex, MutexKind kind,
+            Scope scope, const MutexTicket &ticket)
+{
+    if (kind == MutexKind::FetchAdd) {
+        co_await ctx.atomic(ctx.atomicStore(
+            mutex.serving, ticket.ticket + 1, scope));
+    } else {
+        co_await ctx.atomic(ctx.atomicStore(mutex.lock, 0, scope));
+    }
+}
+
+/** Spinning reader-writer semaphore (reader slots = capacity). */
+struct SemaphoreAddrs
+{
+    Addr count; ///< available units; capacity when free
+};
+
+/** Acquire one reader unit. */
+inline SimTask
+semaphoreReaderWait(TbContext &ctx, const SemaphoreAddrs &sem,
+                    Scope scope, bool backoff)
+{
+    Cycles delay = kBackoffBase;
+    while (true) {
+        std::uint32_t avail = co_await ctx.atomic(
+            ctx.atomicLoad(sem.count, scope));
+        if (avail > 0) {
+            std::uint32_t got = co_await ctx.atomic(ctx.compareSwap(
+                sem.count, avail, avail - 1, scope));
+            if (got == avail)
+                co_return;
+        }
+        if (backoff) {
+            co_await ctx.wait(delay);
+            delay = std::min<Cycles>(delay * 2, kBackoffMax);
+        }
+    }
+}
+
+/** Release one reader unit. */
+inline SimTask
+semaphorePost(TbContext &ctx, const SemaphoreAddrs &sem, Scope scope)
+{
+    co_await ctx.atomic(ctx.fetchAdd(sem.count, 1, scope,
+                                     SyncSemantics::AcquireRelease));
+}
+
+/** Writer acquires the entire semaphore (all @p capacity units). */
+inline SimTask
+semaphoreWriterWait(TbContext &ctx, const SemaphoreAddrs &sem,
+                    std::uint32_t capacity, Scope scope, bool backoff)
+{
+    Cycles delay = kBackoffBase;
+    while (true) {
+        std::uint32_t got = co_await ctx.atomic(
+            ctx.compareSwap(sem.count, capacity, 0, scope));
+        if (got == capacity)
+            co_return;
+        if (backoff) {
+            co_await ctx.wait(delay);
+            delay = std::min<Cycles>(delay * 2, kBackoffMax);
+        }
+    }
+}
+
+/** Writer releases the entire semaphore. */
+inline SimTask
+semaphoreWriterPost(TbContext &ctx, const SemaphoreAddrs &sem,
+                    std::uint32_t capacity, Scope scope)
+{
+    co_await ctx.atomic(ctx.atomicStore(sem.count, capacity, scope));
+}
+
+/** Sense-reversing centralized barrier. */
+struct BarrierAddrs
+{
+    Addr count; ///< arrivals this epoch
+    Addr sense; ///< epoch parity
+};
+
+/**
+ * Join a sense-reversing barrier of @p participants members.
+ * @p epoch is the caller's local sense (odd epochs release on odd
+ * sense values); callers increment their epoch after each join.
+ */
+inline SimTask
+barrierJoin(TbContext &ctx, const BarrierAddrs &barrier,
+            std::uint32_t participants, std::uint32_t epoch,
+            Scope scope)
+{
+    std::uint32_t arrived = co_await ctx.atomic(ctx.fetchAdd(
+        barrier.count, 1, scope, SyncSemantics::AcquireRelease));
+    if (arrived + 1 == participants) {
+        // Last arrival: reset the counter, flip the sense.
+        co_await ctx.atomic(ctx.atomicStore(barrier.count, 0, scope));
+        co_await ctx.atomic(
+            ctx.atomicStore(barrier.sense, epoch + 1, scope));
+        co_return;
+    }
+    while (true) {
+        std::uint32_t sense = co_await ctx.atomic(
+            ctx.atomicLoad(barrier.sense, scope));
+        if (sense > epoch)
+            co_return;
+    }
+}
+
+} // namespace nosync
+
+#endif // WORKLOADS_SYNC_PRIMITIVES_HH

@@ -1,0 +1,242 @@
+#include "workloads/uts.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace nosync
+{
+
+Uts::Uts(UtsParams params) : _params(params) {}
+
+void
+Uts::init(WorkloadEnv &env)
+{
+    _numCus = env.numCus();
+    unsigned n = _params.numNodes;
+
+    // Generate the unbalanced tree shape: nodes in id order, children
+    // consecutive. Roughly half the nodes are leaves; interior nodes
+    // have 1-7 children, so subtree sizes vary wildly (the imbalance
+    // the benchmark is named for).
+    std::uint32_t next_id = 0;
+    for (std::uint64_t attempt = 0; next_id != n; ++attempt) {
+        // The branching process is supercritical but can still die
+        // out early; retry with the next seed until the whole id
+        // space is covered (deterministic given shapeSeed).
+        panic_if(attempt > 64, "UTS tree generation failed to cover ",
+                 n, " nodes");
+        Rng rng(_params.shapeSeed + attempt);
+        _childStart.assign(n, 0);
+        _childCount.assign(n, 0);
+        next_id = 1;
+        for (std::uint32_t i = 0; i < n && next_id <= n; ++i) {
+            std::uint32_t c = 0;
+            if (next_id < n) {
+                if (i == 0) {
+                    c = std::min<std::uint32_t>(16, n - next_id);
+                } else if (!rng.chance(0.55)) {
+                    c = static_cast<std::uint32_t>(1 + rng.below(7));
+                    c = std::min<std::uint32_t>(c, n - next_id);
+                }
+            }
+            _childStart[i] = next_id;
+            _childCount[i] = c;
+            next_id += c;
+        }
+    }
+
+    // Mirror into simulated memory; topology arrays are read-only
+    // during the kernel (consumed by DD+RO).
+    _childStartArr = env.alloc(static_cast<Addr>(n) * kWordBytes);
+    _childCountArr = env.alloc(static_cast<Addr>(n) * kWordBytes);
+    _payload = env.alloc(static_cast<Addr>(n) * kWordBytes);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        env.writeInit(_childStartArr + Addr(i) * kWordBytes,
+                      _childStart[i]);
+        env.writeInit(_childCountArr + Addr(i) * kWordBytes,
+                      _childCount[i]);
+    }
+    env.declareReadOnly(_childStartArr, static_cast<Addr>(n) *
+                        kWordBytes);
+    env.declareReadOnly(_childCountArr, static_cast<Addr>(n) *
+                        kWordBytes);
+
+    _processedCtr = env.alloc(kLineBytes);
+
+    // Global queue pre-seeded with the root.
+    _globalTop = env.alloc(kLineBytes);
+    _globalLock.lock = _globalTop + kWordBytes;
+    _globalLock.serving = _globalTop + 2 * kWordBytes;
+    _globalSlots = env.alloc(static_cast<Addr>(n) * kWordBytes);
+    env.writeInit(_globalSlots, 0);
+    env.writeInit(_globalTop, 1);
+
+    _localTop.clear();
+    _localSlots.clear();
+    _localLocks.clear();
+    for (unsigned cu = 0; cu < _numCus; ++cu) {
+        Addr ctrl = env.alloc(kLineBytes);
+        _localTop.push_back(ctrl);
+        MutexAddrs lock;
+        lock.lock = ctrl + kWordBytes;
+        lock.serving = ctrl + 2 * kWordBytes;
+        _localLocks.push_back(lock);
+        _localSlots.push_back(env.alloc(
+            static_cast<Addr>(_params.localStackCap) * kWordBytes));
+    }
+}
+
+KernelInfo
+Uts::kernelInfo(unsigned) const
+{
+    return {_numCus * _params.tbsPerCu};
+}
+
+SimTask
+Uts::popStack(TbContext &ctx, Addr top, Addr slots, Scope scope,
+              MutexAddrs lock, std::uint32_t &out)
+{
+    MutexTicket ticket;
+    co_await mutexLock(ctx, lock, MutexKind::Spin, scope, ticket);
+    std::uint32_t depth = co_await ctx.load(top);
+    if (depth == 0) {
+        out = 0xffffffffu;
+    } else {
+        out = co_await ctx.load(slots +
+                                Addr(depth - 1) * kWordBytes);
+        co_await ctx.store(top, depth - 1);
+    }
+    co_await mutexUnlock(ctx, lock, MutexKind::Spin, scope, ticket);
+}
+
+SimTask
+Uts::tbMain(TbContext &ctx)
+{
+    unsigned cu = ctx.cu();
+    Scope local = Scope::Local;
+    Scope global = Scope::Global;
+    unsigned n = _params.numNodes;
+    Cycles idle_backoff = kBackoffBase;
+
+    while (true) {
+        std::uint32_t node = 0xffffffffu;
+
+        // 1. Try the CU-local stack.
+        co_await popStack(ctx, _localTop[cu], _localSlots[cu], local,
+                          _localLocks[cu], node);
+
+        // 2. Fall back to the global queue.
+        if (node == 0xffffffffu) {
+            co_await popStack(ctx, _globalTop, _globalSlots, global,
+                              _globalLock, node);
+        }
+
+        // 3. Nothing anywhere: either done or waiting for producers.
+        if (node == 0xffffffffu) {
+            std::uint32_t processed = co_await ctx.atomic(
+                ctx.atomicLoad(_processedCtr, global));
+            if (processed >= n)
+                co_return;
+            co_await ctx.wait(idle_backoff);
+            idle_backoff = std::min<Cycles>(idle_backoff * 2,
+                                            kBackoffMax);
+            continue;
+        }
+        idle_backoff = kBackoffBase;
+
+        // Process the node: read its topology (read-only data),
+        // write its payload.
+        std::uint32_t cstart = co_await ctx.load(
+            _childStartArr + Addr(node) * kWordBytes);
+        std::uint32_t ccount = co_await ctx.load(
+            _childCountArr + Addr(node) * kWordBytes);
+        co_await ctx.store(_payload + Addr(node) * kWordBytes,
+                           nodeValue(node));
+
+        // Push children onto the local stack, spilling half to the
+        // global queue when the local stack fills up.
+        if (ccount > 0) {
+            MutexTicket ticket;
+            std::vector<std::uint32_t> spill;
+            co_await mutexLock(ctx, _localLocks[cu],
+                               MutexKind::Spin, local, ticket);
+            std::uint32_t depth = co_await ctx.load(_localTop[cu]);
+            for (std::uint32_t c = 0; c < ccount; ++c) {
+                std::uint32_t child = cstart + c;
+                if (depth >= _params.localStackCap) {
+                    spill.push_back(child);
+                    continue;
+                }
+                co_await ctx.store(_localSlots[cu] +
+                                       Addr(depth) * kWordBytes,
+                                   child);
+                ++depth;
+            }
+            if (spill.empty() &&
+                depth > _params.localStackCap / 2 &&
+                depth >= 2 * ccount) {
+                // Proactive balancing: hand a few nodes to the
+                // global queue so idle CUs find work.
+                for (unsigned k = 0; k < 2 && depth > 0; ++k) {
+                    --depth;
+                    spill.push_back(co_await ctx.load(
+                        _localSlots[cu] + Addr(depth) * kWordBytes));
+                }
+            }
+            co_await ctx.store(_localTop[cu], depth);
+            co_await mutexUnlock(ctx, _localLocks[cu],
+                                 MutexKind::Spin, local, ticket);
+
+            if (!spill.empty()) {
+                MutexTicket gticket;
+                co_await mutexLock(ctx, _globalLock, MutexKind::Spin,
+                                   global, gticket);
+                std::uint32_t gtop =
+                    co_await ctx.load(_globalTop);
+                for (std::uint32_t child : spill) {
+                    co_await ctx.store(_globalSlots +
+                                           Addr(gtop) * kWordBytes,
+                                       child);
+                    ++gtop;
+                }
+                co_await ctx.store(_globalTop, gtop);
+                co_await mutexUnlock(ctx, _globalLock,
+                                     MutexKind::Spin, global,
+                                     gticket);
+            }
+        }
+
+        co_await ctx.atomic(ctx.fetchAdd(_processedCtr, 1, global));
+    }
+}
+
+std::vector<std::string>
+Uts::check(WorkloadEnv &env)
+{
+    std::vector<std::string> failures;
+    std::uint32_t processed = env.debugRead(_processedCtr);
+    if (processed != _params.numNodes) {
+        std::ostringstream os;
+        os << "UTS: processed " << processed << " of "
+           << _params.numNodes << " nodes";
+        failures.push_back(os.str());
+    }
+    for (std::uint32_t i = 0; i < _params.numNodes; ++i) {
+        std::uint32_t got =
+            env.debugRead(_payload + Addr(i) * kWordBytes);
+        if (got != nodeValue(i)) {
+            std::ostringstream os;
+            os << "UTS: node " << i << " payload " << got
+               << " != " << nodeValue(i)
+               << " (lost or double-processed work)";
+            failures.push_back(os.str());
+            if (failures.size() > 10)
+                break;
+        }
+    }
+    return failures;
+}
+
+} // namespace nosync

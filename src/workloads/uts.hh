@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unbalanced Tree Search (UTS) benchmark [8].
+ *
+ * Thread blocks traverse an unbalanced tree using per-CU work stacks
+ * (locally scoped locks under HRF) and a global task queue for load
+ * balancing: CUs push half of their local work to the global queue on
+ * overflow and pull from it when their local stack runs dry. This is
+ * the paper's dynamic-sharing workload: scopes must be conservatively
+ * global wherever work can migrate, while DeNovo's ownership handles
+ * migration naturally.
+ */
+
+#ifndef WORKLOADS_UTS_HH
+#define WORKLOADS_UTS_HH
+
+#include <vector>
+
+#include "gpu/workload.hh"
+#include "workloads/sync_primitives.hh"
+
+namespace nosync
+{
+
+/** UTS scale parameters. */
+struct UtsParams
+{
+    unsigned numNodes = 16384; ///< paper: 16K nodes
+    unsigned tbsPerCu = 3;
+    unsigned localStackCap = 1024; ///< entries per CU stack
+    std::uint64_t shapeSeed = 0x7575u;
+};
+
+/** The UTS workload. */
+class Uts : public Workload
+{
+  public:
+    explicit Uts(UtsParams params = {});
+
+    std::string name() const override { return "UTS"; }
+    void init(WorkloadEnv &env) override;
+    KernelInfo kernelInfo(unsigned k) const override;
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+
+    /** Deterministic expected payload of a processed node. */
+    static std::uint32_t
+    nodeValue(std::uint32_t node)
+    {
+        return (node * 2654435761u) ^ 0xbeefu;
+    }
+
+  private:
+    /** Pop one node from a stack; 0xffffffff when empty. */
+    SimTask popStack(TbContext &ctx, Addr top, Addr slots, Scope scope,
+                     MutexAddrs lock, std::uint32_t &out);
+
+    UtsParams _params;
+    unsigned _numCus = 0;
+
+    // Host-side tree shape (mirrored into simulated memory).
+    std::vector<std::uint32_t> _childStart;
+    std::vector<std::uint32_t> _childCount;
+
+    // Simulated memory layout.
+    Addr _childStartArr = 0; ///< RO region
+    Addr _childCountArr = 0; ///< RO region
+    Addr _payload = 0;
+    Addr _processedCtr = 0;
+    Addr _globalTop = 0;
+    Addr _globalSlots = 0;
+    MutexAddrs _globalLock{};
+    std::vector<Addr> _localTop;
+    std::vector<Addr> _localSlots;
+    std::vector<MutexAddrs> _localLocks;
+};
+
+} // namespace nosync
+
+#endif // WORKLOADS_UTS_HH

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Protocol-level tests for conventional GPU coherence (GD and GH):
+ * writethrough visibility, flash invalidation, HRF per-word dirty
+ * bits, local vs global atomics, and store-buffer behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace nosync;
+using namespace nosync::test;
+
+namespace
+{
+
+SystemConfig
+gdConfig()
+{
+    SystemConfig config;
+    config.protocol = ProtocolConfig::gd();
+    return config;
+}
+
+SystemConfig
+ghConfig()
+{
+    SystemConfig config;
+    config.protocol = ProtocolConfig::gh();
+    return config;
+}
+
+constexpr Addr kData = 0x10000;
+constexpr Addr kFlag = 0x20000;
+
+} // namespace
+
+TEST(GpuProtocol, LoadMissReturnsMemoryValue)
+{
+    System sys(gdConfig());
+    sys.writeInit(kData, 1234);
+    EXPECT_EQ(doLoad(sys, 0, kData), 1234u);
+}
+
+TEST(GpuProtocol, SecondLoadHitsInL1)
+{
+    System sys(gdConfig());
+    sys.writeInit(kData, 7);
+    doLoad(sys, 0, kData);
+    double misses_before =
+        sys.stats().get("l1.0.load_misses");
+    EXPECT_EQ(doLoad(sys, 0, kData + 4), 0u); // same line, word 1
+    EXPECT_EQ(sys.stats().get("l1.0.load_misses"), misses_before);
+}
+
+TEST(GpuProtocol, StoreForwardsLocallyBeforeWritethrough)
+{
+    System sys(gdConfig());
+    doStore(sys, 0, kData, 55);
+    // Locally visible immediately...
+    EXPECT_EQ(doLoad(sys, 0, kData), 55u);
+    // ...but not yet at the shared L2 (no release yet).
+    unsigned bank = (kData / kLineBytes) % 16;
+    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kData), 0u);
+}
+
+TEST(GpuProtocol, DrainWritesThroughToL2)
+{
+    System sys(gdConfig());
+    doStore(sys, 0, kData, 55);
+    doDrain(sys, 0);
+    unsigned bank = (kData / kLineBytes) % 16;
+    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kData), 55u);
+    EXPECT_EQ(sys.gpuL1(0)->storeBufferSize(), 0u);
+}
+
+TEST(GpuProtocol, KernelEndDrains)
+{
+    System sys(gdConfig());
+    doStore(sys, 0, kData, 99);
+    bool done = false;
+    sys.l1(0).kernelEnd([&] { done = true; });
+    while (!done && sys.eventQueue().step()) {
+    }
+    ASSERT_TRUE(done);
+    unsigned bank = (kData / kLineBytes) % 16;
+    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kData), 99u);
+}
+
+TEST(GpuProtocol, GlobalAcquireFlashInvalidates)
+{
+    System sys(gdConfig());
+    sys.writeInit(kData, 3);
+    doLoad(sys, 0, kData);
+    EXPECT_TRUE(sys.gpuL1(0)->wordValid(kData));
+    doSync(sys, 0,
+           makeSync(AtomicFunc::Load, kFlag, 0, 0, Scope::Global,
+                    SyncSemantics::Acquire));
+    EXPECT_FALSE(sys.gpuL1(0)->wordValid(kData));
+}
+
+TEST(GpuProtocol, HrfKeepsDirtyWordsAcrossGlobalAcquire)
+{
+    System sys(ghConfig());
+    doStore(sys, 0, kData, 42);
+    doSync(sys, 0,
+           makeSync(AtomicFunc::Load, kFlag, 0, 0, Scope::Global,
+                    SyncSemantics::Acquire));
+    // The CU's own partial write survives (per-word dirty bit).
+    EXPECT_TRUE(sys.gpuL1(0)->wordValid(kData));
+    EXPECT_EQ(doLoad(sys, 0, kData), 42u);
+}
+
+TEST(GpuProtocol, GlobalAtomicExecutesAtL2)
+{
+    System sys(gdConfig());
+    sys.writeInit(kFlag, 10);
+    std::uint32_t old_val =
+        doSync(sys, 0, makeSync(AtomicFunc::FetchAdd, kFlag, 5));
+    EXPECT_EQ(old_val, 10u);
+    unsigned bank = (kFlag / kLineBytes) % 16;
+    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kFlag), 15u);
+    EXPECT_GE(sys.stats().get("l1.0.sync_misses"), 1.0);
+}
+
+TEST(GpuProtocol, HrfLocalAtomicExecutesAtL1)
+{
+    System sys(ghConfig());
+    sys.writeInit(kFlag, 1);
+    std::uint32_t old_val = doSync(
+        sys, 0, makeSync(AtomicFunc::FetchAdd, kFlag, 1, 0,
+                         Scope::Local));
+    EXPECT_EQ(old_val, 1u);
+    // Performed locally: the L2 copy is untouched until a global
+    // release flushes dirty words.
+    unsigned bank = (kFlag / kLineBytes) % 16;
+    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kFlag), 1u);
+    doDrain(sys, 0);
+    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kFlag), 2u);
+}
+
+TEST(GpuProtocol, MessagePassingBetweenCus)
+{
+    System sys(gdConfig());
+    // Producer on CU 0.
+    doStore(sys, 0, kData, 777);
+    doSync(sys, 0,
+           makeSync(AtomicFunc::Store, kFlag, 1, 0, Scope::Global,
+                    SyncSemantics::Release));
+    // Consumer on CU 1: acquire sees the flag, then the data.
+    std::uint32_t flag = doSync(
+        sys, 1, makeSync(AtomicFunc::Load, kFlag, 0, 0, Scope::Global,
+                         SyncSemantics::Acquire));
+    EXPECT_EQ(flag, 1u);
+    EXPECT_EQ(doLoad(sys, 1, kData), 777u);
+}
+
+TEST(GpuProtocol, StaleCopyInvalidatedByAcquire)
+{
+    System sys(gdConfig());
+    sys.writeInit(kData, 1);
+    // CU 1 caches the old value.
+    EXPECT_EQ(doLoad(sys, 1, kData), 1u);
+    // CU 0 updates and releases.
+    doStore(sys, 0, kData, 2);
+    doSync(sys, 0,
+           makeSync(AtomicFunc::Store, kFlag, 1, 0, Scope::Global,
+                    SyncSemantics::Release));
+    // Without an acquire CU 1 may still see 1; after an acquire it
+    // must see 2.
+    doSync(sys, 1,
+           makeSync(AtomicFunc::Load, kFlag, 0, 0, Scope::Global,
+                    SyncSemantics::Acquire));
+    EXPECT_EQ(doLoad(sys, 1, kData), 2u);
+}
+
+TEST(GpuProtocol, StoreBufferOverflowForcesDrain)
+{
+    SystemConfig config = gdConfig();
+    config.geometry.storeBufferEntries = 4;
+    System sys(config);
+    // Five distinct words: the fifth store must force a drain.
+    for (unsigned i = 0; i < 5; ++i)
+        doStore(sys, 0, kData + i * kWordBytes, i + 1);
+    EXPECT_GE(sys.stats().get("l1.0.sb_overflow_drains"), 1.0);
+    // All values remain visible.
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(doLoad(sys, 0, kData + i * kWordBytes), i + 1);
+}
+
+TEST(GpuProtocol, EvictionPreservesPendingWrites)
+{
+    // Tiny L1 (2 sets x 2 ways) so fills evict aggressively.
+    SystemConfig config = gdConfig();
+    config.geometry.l1Bytes = 256;
+    config.geometry.l1Assoc = 2;
+    System sys(config);
+    doStore(sys, 0, kData, 123);
+    // March loads through enough lines to evict everything.
+    for (unsigned i = 1; i <= 8; ++i)
+        doLoad(sys, 0, kData + i * 0x100);
+    EXPECT_EQ(doLoad(sys, 0, kData), 123u);
+    doDrain(sys, 0);
+    EXPECT_EQ(sys.debugRead(kData), 123u);
+}
+
+TEST(GpuProtocol, HrfDirtyWordFlushedOnEviction)
+{
+    SystemConfig config = ghConfig();
+    config.geometry.l1Bytes = 256;
+    config.geometry.l1Assoc = 2;
+    System sys(config);
+    doStore(sys, 0, kData, 31);
+    for (unsigned i = 1; i <= 8; ++i)
+        doLoad(sys, 0, kData + i * 0x100);
+    drainEvents(sys);
+    // The dirty word was written through when its frame was reused.
+    EXPECT_EQ(sys.debugRead(kData), 31u);
+}
+
+TEST(GpuProtocol, AtomicReturnValueChains)
+{
+    System sys(gdConfig());
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        std::uint32_t old_val = doSync(
+            sys, i % 4, makeSync(AtomicFunc::FetchAdd, kFlag, 1));
+        EXPECT_EQ(old_val, i);
+    }
+    EXPECT_EQ(sys.debugRead(kFlag), 10u);
+}
+
+TEST(GpuProtocol, CompareSwapMutualExclusionAtL2)
+{
+    System sys(gdConfig());
+    std::uint32_t a = doSync(
+        sys, 0, makeSync(AtomicFunc::CompareSwap, kFlag, 1, 0));
+    std::uint32_t b = doSync(
+        sys, 1, makeSync(AtomicFunc::CompareSwap, kFlag, 1, 0));
+    EXPECT_EQ(a, 0u); // first wins
+    EXPECT_EQ(b, 1u); // second observes the lock taken
+}

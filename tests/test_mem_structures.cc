@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for cache arrays, the store buffer, MSHRs, functional
+ * memory, and the region map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/region_map.hh"
+#include "mem/cache_array.hh"
+#include "mem/functional_mem.hh"
+#include "mem/mshr.hh"
+#include "mem/store_buffer.hh"
+
+using namespace nosync;
+
+// ---------------------------------------------------------------------
+// CacheArray
+// ---------------------------------------------------------------------
+
+TEST(CacheArray, MissesWhenEmpty)
+{
+    CacheArray array(1024, 2);
+    EXPECT_EQ(array.lookup(0x1000), nullptr);
+}
+
+TEST(CacheArray, InstallAndLookup)
+{
+    CacheArray array(1024, 2);
+    CacheLine *victim = array.findVictim(0x1000);
+    array.install(*victim, 0x1000);
+    CacheLine *hit = array.lookup(0x1010); // same line
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->addr, 0x1000u);
+}
+
+TEST(CacheArray, LruVictimSelection)
+{
+    // 1024 B, 2-way, 64 B lines -> 8 sets. Lines 0x0000 and 0x2000
+    // map to set 0; a third line in set 0 must evict the LRU.
+    CacheArray array(1024, 2);
+    CacheLine *a = array.findVictim(0x0000);
+    array.install(*a, 0x0000);
+    CacheLine *b = array.findVictim(0x2000);
+    array.install(*b, 0x2000);
+    // Touch a so b becomes LRU.
+    array.touch(*array.lookup(0x0000));
+    CacheLine *victim = array.findVictim(0x4000);
+    EXPECT_EQ(victim->addr, 0x2000u);
+}
+
+TEST(CacheArray, VictimPreferenceRespected)
+{
+    CacheArray array(1024, 2);
+    CacheLine *a = array.findVictim(0x0000);
+    array.install(*a, 0x0000);
+    a->wstate[3] = WordState::Registered;
+    CacheLine *b = array.findVictim(0x2000);
+    array.install(*b, 0x2000);
+    array.touch(*array.lookup(0x0000)); // make b LRU
+
+    // Prefer frames without registered words: picks a's set-mate b
+    // ... which is also the LRU here; flip roles to be meaningful.
+    array.touch(*array.lookup(0x2000)); // now a is LRU but registered
+    CacheLine *victim = array.findVictimPreferring(
+        0x4000, [](const CacheLine &line) {
+            return line.maskInState(WordState::Registered) == 0;
+        });
+    EXPECT_EQ(victim->addr, 0x2000u);
+}
+
+TEST(CacheArray, VictimFallsBackWhenNonePreferred)
+{
+    CacheArray array(1024, 2);
+    for (Addr addr : {0x0000, 0x2000}) {
+        CacheLine *line = array.findVictim(addr);
+        array.install(*line, addr);
+        line->wstate[0] = WordState::Registered;
+    }
+    CacheLine *victim = array.findVictimPreferring(
+        0x4000, [](const CacheLine &line) {
+            return line.maskInState(WordState::Registered) == 0;
+        });
+    ASSERT_NE(victim, nullptr);
+    EXPECT_TRUE(victim->valid);
+}
+
+TEST(CacheArray, MaskInState)
+{
+    CacheLine line;
+    line.clear();
+    line.wstate[1] = WordState::Valid;
+    line.wstate[5] = WordState::Registered;
+    EXPECT_EQ(line.maskInState(WordState::Valid), 0x0002u);
+    EXPECT_EQ(line.maskInState(WordState::Registered), 0x0020u);
+}
+
+TEST(CacheArrayDeathTest, NonPowerOfTwoSetsPanics)
+{
+    EXPECT_DEATH(CacheArray(3 * 64, 1), "power of two");
+}
+
+// ---------------------------------------------------------------------
+// StoreBuffer
+// ---------------------------------------------------------------------
+
+TEST(StoreBuffer, InsertAndLookup)
+{
+    StoreBuffer sb(4);
+    EXPECT_FALSE(sb.insert(0x100, 7));
+    EXPECT_TRUE(sb.contains(0x100));
+    EXPECT_EQ(sb.value(0x100), 7u);
+    EXPECT_EQ(sb.size(), 1u);
+}
+
+TEST(StoreBuffer, CoalescesSameWord)
+{
+    StoreBuffer sb(4);
+    sb.insert(0x100, 7);
+    EXPECT_TRUE(sb.insert(0x102, 9)); // same word, sub-word address
+    EXPECT_EQ(sb.size(), 1u);
+    EXPECT_EQ(sb.value(0x100), 9u);
+}
+
+TEST(StoreBuffer, FullDetection)
+{
+    StoreBuffer sb(2);
+    sb.insert(0x100, 1);
+    sb.insert(0x104, 2);
+    EXPECT_TRUE(sb.full());
+    // Coalescing into an existing word is still allowed.
+    EXPECT_TRUE(sb.insert(0x100, 3));
+}
+
+TEST(StoreBuffer, DrainGroupsByLine)
+{
+    StoreBuffer sb(8);
+    sb.insert(0x100, 1); // line 0x100, word 0
+    sb.insert(0x108, 2); // line 0x100, word 2
+    sb.insert(0x140, 3); // line 0x140, word 0
+    auto groups = sb.drain();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].lineAddr, 0x100u);
+    EXPECT_EQ(groups[0].mask, 0x0005u);
+    EXPECT_EQ(groups[0].data[0], 1u);
+    EXPECT_EQ(groups[0].data[2], 2u);
+    EXPECT_EQ(groups[1].lineAddr, 0x140u);
+    EXPECT_EQ(groups[1].mask, 0x0001u);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, EraseRemovesWord)
+{
+    StoreBuffer sb(4);
+    sb.insert(0x100, 1);
+    sb.erase(0x100);
+    EXPECT_FALSE(sb.contains(0x100));
+}
+
+// ---------------------------------------------------------------------
+// MshrTable
+// ---------------------------------------------------------------------
+
+TEST(Mshr, AllocateFindDeallocate)
+{
+    struct Payload
+    {
+        int x = 0;
+    };
+    MshrTable<Payload> table(4);
+    EXPECT_EQ(table.find(0x1000), nullptr);
+    Payload &p = table.allocate(0x1010); // line-aligns to 0x1000
+    p.x = 5;
+    ASSERT_NE(table.find(0x1000), nullptr);
+    EXPECT_EQ(table.find(0x1020)->x, 5);
+    table.deallocate(0x1000);
+    EXPECT_EQ(table.find(0x1000), nullptr);
+}
+
+TEST(Mshr, PointersStableAcrossInserts)
+{
+    struct Payload
+    {
+        int x = 0;
+    };
+    MshrTable<Payload> table(64);
+    Payload *first = &table.allocate(0x0);
+    first->x = 42;
+    for (Addr line = 1; line < 50; ++line)
+        table.allocate(line * kLineBytes);
+    EXPECT_EQ(first->x, 42);
+    EXPECT_EQ(table.find(0x0), first);
+}
+
+TEST(MshrDeathTest, OverflowPanics)
+{
+    struct Payload
+    {
+    };
+    MshrTable<Payload> table(1);
+    table.allocate(0x0);
+    EXPECT_DEATH(table.allocate(0x40), "overflow");
+}
+
+TEST(MshrDeathTest, DuplicateAllocationPanics)
+{
+    struct Payload
+    {
+    };
+    MshrTable<Payload> table(4);
+    table.allocate(0x0);
+    EXPECT_DEATH(table.allocate(0x0), "duplicate");
+}
+
+// ---------------------------------------------------------------------
+// FunctionalMem
+// ---------------------------------------------------------------------
+
+TEST(FunctionalMem, UnwrittenReadsZero)
+{
+    FunctionalMem mem;
+    EXPECT_EQ(mem.readWord(0x1234), 0u);
+}
+
+TEST(FunctionalMem, WordReadWrite)
+{
+    FunctionalMem mem;
+    mem.writeWord(0x1004, 99);
+    EXPECT_EQ(mem.readWord(0x1004), 99u);
+    EXPECT_EQ(mem.readWord(0x1000), 0u);
+}
+
+TEST(FunctionalMem, MaskedLineWrite)
+{
+    FunctionalMem mem;
+    LineData data{};
+    data[0] = 10;
+    data[3] = 13;
+    mem.writeLineMasked(0x2000, data, 0x0009);
+    EXPECT_EQ(mem.readWord(0x2000), 10u);
+    EXPECT_EQ(mem.readWord(0x200c), 13u);
+    EXPECT_EQ(mem.readWord(0x2004), 0u);
+}
+
+// ---------------------------------------------------------------------
+// RegionMap
+// ---------------------------------------------------------------------
+
+TEST(RegionMap, EmptyMapNothingReadOnly)
+{
+    RegionMap map;
+    EXPECT_FALSE(map.isReadOnly(0x1000));
+    EXPECT_EQ(map.readOnlyMask(0x1000), 0u);
+}
+
+TEST(RegionMap, RangeMembership)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x100);
+    EXPECT_TRUE(map.isReadOnly(0x1000));
+    EXPECT_TRUE(map.isReadOnly(0x10ff));
+    EXPECT_FALSE(map.isReadOnly(0x1100));
+    EXPECT_FALSE(map.isReadOnly(0xfff));
+}
+
+TEST(RegionMap, PartialLineMask)
+{
+    RegionMap map;
+    // Read-only covers only words 2..5 of the line at 0x1000.
+    map.addReadOnly(0x1008, 4 * kWordBytes);
+    EXPECT_EQ(map.readOnlyMask(0x1000), 0x003cu);
+}
+
+TEST(RegionMap, MultipleRanges)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x40);
+    map.addReadOnly(0x3000, 0x40);
+    EXPECT_TRUE(map.isReadOnly(0x1010));
+    EXPECT_FALSE(map.isReadOnly(0x2000));
+    EXPECT_TRUE(map.isReadOnly(0x3030));
+}
+
+TEST(RegionMap, ClearRemovesRanges)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x40);
+    map.clear();
+    EXPECT_FALSE(map.isReadOnly(0x1000));
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for address helpers, the statistics package, and the
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace nosync;
+
+TEST(Types, LineAndWordAlignment)
+{
+    EXPECT_EQ(lineAlign(0x1000), 0x1000u);
+    EXPECT_EQ(lineAlign(0x103f), 0x1000u);
+    EXPECT_EQ(lineAlign(0x1040), 0x1040u);
+    EXPECT_EQ(wordAlign(0x1003), 0x1000u);
+    EXPECT_EQ(wordAlign(0x1004), 0x1004u);
+}
+
+TEST(Types, WordInLine)
+{
+    EXPECT_EQ(wordInLine(0x1000), 0u);
+    EXPECT_EQ(wordInLine(0x1004), 1u);
+    EXPECT_EQ(wordInLine(0x103c), 15u);
+}
+
+TEST(Types, WordMaskOf)
+{
+    EXPECT_EQ(wordMaskOf(0x1000), 0x0001u);
+    EXPECT_EQ(wordMaskOf(0x103c), 0x8000u);
+}
+
+TEST(Types, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(kFullLineMask), 16u);
+    EXPECT_EQ(popcount(0x5555), 8u);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::StatSet set;
+    stats::Scalar &s = set.scalar("x", "a scalar");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(set.get("x"), 3.5);
+}
+
+TEST(Stats, ScalarReregistrationReturnsSame)
+{
+    stats::StatSet set;
+    stats::Scalar &a = set.scalar("x", "a");
+    stats::Scalar &b = set.scalar("x", "a");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Stats, VectorSubnamesAndTotal)
+{
+    stats::StatSet set;
+    stats::Vector &v = set.vector("v", "a vector", {"a", "b", "c"});
+    v.add(0, 1.0);
+    v.add(2, 4.0);
+    EXPECT_DOUBLE_EQ(set.getVec("v", "a"), 1.0);
+    EXPECT_DOUBLE_EQ(set.getVec("v", "b"), 0.0);
+    EXPECT_DOUBLE_EQ(set.getVec("v", "c"), 4.0);
+    EXPECT_DOUBLE_EQ(v.total(), 5.0);
+}
+
+TEST(Stats, MissingLookupsReturnZero)
+{
+    stats::StatSet set;
+    EXPECT_DOUBLE_EQ(set.get("nope"), 0.0);
+    EXPECT_DOUBLE_EQ(set.getVec("nope", "x"), 0.0);
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    stats::StatSet set;
+    set.scalar("x", "a") += 7;
+    set.vector("v", "b", {"p"}).add(0, 3);
+    set.resetAll();
+    EXPECT_DOUBLE_EQ(set.get("x"), 0.0);
+    EXPECT_DOUBLE_EQ(set.getVec("v", "p"), 0.0);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    stats::StatSet set;
+    set.scalar("alpha", "desc of alpha") += 42;
+    std::string dump = set.dump();
+    EXPECT_NE(dump.find("alpha"), std::string::npos);
+    EXPECT_NE(dump.find("42"), std::string::npos);
+    EXPECT_NE(dump.find("desc of alpha"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= (a.next() != b.next());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef TESTS_TEST_UTIL_HH
+#define TESTS_TEST_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace nosync::test
+{
+
+/** The five studied configurations plus the DD+BO extension. */
+inline std::vector<ProtocolConfig>
+allConfigs()
+{
+    return {ProtocolConfig::gd(),   ProtocolConfig::gh(),
+            ProtocolConfig::dd(),   ProtocolConfig::ddro(),
+            ProtocolConfig::dh(),   ProtocolConfig::ddbo()};
+}
+
+/** Run the event queue until it drains (or a safety limit). */
+inline void
+drainEvents(System &system, Tick limit = 50'000'000)
+{
+    system.eventQueue().run(system.eventQueue().now() + limit);
+}
+
+/** Synchronously perform a load through a CU's L1. */
+inline std::uint32_t
+doLoad(System &system, unsigned cu, Addr addr)
+{
+    std::uint32_t out = 0;
+    bool done = false;
+    system.l1(cu).load(addr, [&](std::uint32_t v) {
+        out = v;
+        done = true;
+    });
+    while (!done && system.eventQueue().step()) {
+    }
+    EXPECT_TRUE(done) << "load never completed";
+    return out;
+}
+
+/** Synchronously perform a store through a CU's L1. */
+inline void
+doStore(System &system, unsigned cu, Addr addr, std::uint32_t value)
+{
+    bool done = false;
+    system.l1(cu).store(addr, value, [&] { done = true; });
+    while (!done && system.eventQueue().step()) {
+    }
+    EXPECT_TRUE(done) << "store never completed";
+}
+
+/** Synchronously perform a sync access through a CU's L1. */
+inline std::uint32_t
+doSync(System &system, unsigned cu, const SyncOp &op)
+{
+    std::uint32_t out = 0;
+    bool done = false;
+    system.l1(cu).sync(op, [&](std::uint32_t v) {
+        out = v;
+        done = true;
+    });
+    while (!done && system.eventQueue().step()) {
+    }
+    EXPECT_TRUE(done) << "sync access never completed";
+    return out;
+}
+
+/** Synchronously drain a CU's buffered writes at global scope. */
+inline void
+doDrain(System &system, unsigned cu)
+{
+    bool done = false;
+    system.l1(cu).drainWrites(Scope::Global, [&] { done = true; });
+    while (!done && system.eventQueue().step()) {
+    }
+    EXPECT_TRUE(done) << "drain never completed";
+}
+
+/** Build a SyncOp tersely. */
+inline SyncOp
+makeSync(AtomicFunc func, Addr addr, std::uint32_t operand = 0,
+         std::uint32_t compare = 0, Scope scope = Scope::Global,
+         SyncSemantics sem = SyncSemantics::AcquireRelease)
+{
+    SyncOp op;
+    op.func = func;
+    op.addr = addr;
+    op.operand = operand;
+    op.compare = compare;
+    op.scope = scope;
+    op.sem = sem;
+    return op;
+}
+
+/** Pretty parameter names for parameterized suites. */
+struct ConfigName
+{
+    template <typename ParamT>
+    std::string
+    operator()(const ParamT &info) const
+    {
+        std::string name = info.param.shortName();
+        for (auto &c : name) {
+            if (c == '+')
+                c = '_';
+        }
+        return name;
+    }
+};
+
+} // namespace nosync::test
+
+#endif // TESTS_TEST_UTIL_HH
