@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noc_latency.dir/ablation_noc_latency.cc.o"
+  "CMakeFiles/ablation_noc_latency.dir/ablation_noc_latency.cc.o.d"
+  "ablation_noc_latency"
+  "ablation_noc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

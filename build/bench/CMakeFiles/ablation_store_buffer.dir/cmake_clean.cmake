@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_store_buffer.dir/ablation_store_buffer.cc.o"
+  "CMakeFiles/ablation_store_buffer.dir/ablation_store_buffer.cc.o.d"
+  "ablation_store_buffer"
+  "ablation_store_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_store_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

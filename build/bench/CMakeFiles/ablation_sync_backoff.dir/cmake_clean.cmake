@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_backoff.dir/ablation_sync_backoff.cc.o"
+  "CMakeFiles/ablation_sync_backoff.dir/ablation_sync_backoff.cc.o.d"
+  "ablation_sync_backoff"
+  "ablation_sync_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

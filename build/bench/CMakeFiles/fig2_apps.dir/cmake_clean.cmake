@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_apps.dir/fig2_apps.cc.o"
+  "CMakeFiles/fig2_apps.dir/fig2_apps.cc.o.d"
+  "fig2_apps"
+  "fig2_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

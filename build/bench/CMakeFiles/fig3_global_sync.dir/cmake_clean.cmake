@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_global_sync.dir/fig3_global_sync.cc.o"
+  "CMakeFiles/fig3_global_sync.dir/fig3_global_sync.cc.o.d"
+  "fig3_global_sync"
+  "fig3_global_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_global_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

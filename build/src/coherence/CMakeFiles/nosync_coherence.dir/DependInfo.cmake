@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/denovo_l1.cc" "src/coherence/CMakeFiles/nosync_coherence.dir/denovo_l1.cc.o" "gcc" "src/coherence/CMakeFiles/nosync_coherence.dir/denovo_l1.cc.o.d"
+  "/root/repo/src/coherence/denovo_l2.cc" "src/coherence/CMakeFiles/nosync_coherence.dir/denovo_l2.cc.o" "gcc" "src/coherence/CMakeFiles/nosync_coherence.dir/denovo_l2.cc.o.d"
+  "/root/repo/src/coherence/gpu_l1.cc" "src/coherence/CMakeFiles/nosync_coherence.dir/gpu_l1.cc.o" "gcc" "src/coherence/CMakeFiles/nosync_coherence.dir/gpu_l1.cc.o.d"
+  "/root/repo/src/coherence/gpu_l2.cc" "src/coherence/CMakeFiles/nosync_coherence.dir/gpu_l2.cc.o" "gcc" "src/coherence/CMakeFiles/nosync_coherence.dir/gpu_l2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nosync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nosync_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

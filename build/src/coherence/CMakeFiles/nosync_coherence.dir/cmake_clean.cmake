@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosync_coherence.dir/denovo_l1.cc.o"
+  "CMakeFiles/nosync_coherence.dir/denovo_l1.cc.o.d"
+  "CMakeFiles/nosync_coherence.dir/denovo_l2.cc.o"
+  "CMakeFiles/nosync_coherence.dir/denovo_l2.cc.o.d"
+  "CMakeFiles/nosync_coherence.dir/gpu_l1.cc.o"
+  "CMakeFiles/nosync_coherence.dir/gpu_l1.cc.o.d"
+  "CMakeFiles/nosync_coherence.dir/gpu_l2.cc.o"
+  "CMakeFiles/nosync_coherence.dir/gpu_l2.cc.o.d"
+  "libnosync_coherence.a"
+  "libnosync_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosync_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

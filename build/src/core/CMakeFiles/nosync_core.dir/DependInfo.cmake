@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/nosync_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/nosync_core.dir/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/nosync_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/nosync_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nosync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nosync_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/nosync_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/nosync_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

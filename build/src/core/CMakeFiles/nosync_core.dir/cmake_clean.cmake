@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosync_core.dir/report.cc.o"
+  "CMakeFiles/nosync_core.dir/report.cc.o.d"
+  "CMakeFiles/nosync_core.dir/system.cc.o"
+  "CMakeFiles/nosync_core.dir/system.cc.o.d"
+  "libnosync_core.a"
+  "libnosync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosync_gpu.dir/gpu_device.cc.o"
+  "CMakeFiles/nosync_gpu.dir/gpu_device.cc.o.d"
+  "libnosync_gpu.a"
+  "libnosync_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosync_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

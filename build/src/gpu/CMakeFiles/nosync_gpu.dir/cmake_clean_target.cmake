@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnosync_gpu.a"
+)

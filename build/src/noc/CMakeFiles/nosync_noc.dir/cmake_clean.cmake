@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosync_noc.dir/mesh.cc.o"
+  "CMakeFiles/nosync_noc.dir/mesh.cc.o.d"
+  "libnosync_noc.a"
+  "libnosync_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosync_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosync_sim.dir/event_queue.cc.o"
+  "CMakeFiles/nosync_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/nosync_sim.dir/logging.cc.o"
+  "CMakeFiles/nosync_sim.dir/logging.cc.o.d"
+  "CMakeFiles/nosync_sim.dir/stats.cc.o"
+  "CMakeFiles/nosync_sim.dir/stats.cc.o.d"
+  "libnosync_sim.a"
+  "libnosync_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps_linalg.cc" "src/workloads/CMakeFiles/nosync_workloads.dir/apps_linalg.cc.o" "gcc" "src/workloads/CMakeFiles/nosync_workloads.dir/apps_linalg.cc.o.d"
+  "/root/repo/src/workloads/apps_misc.cc" "src/workloads/CMakeFiles/nosync_workloads.dir/apps_misc.cc.o" "gcc" "src/workloads/CMakeFiles/nosync_workloads.dir/apps_misc.cc.o.d"
+  "/root/repo/src/workloads/apps_stencil.cc" "src/workloads/CMakeFiles/nosync_workloads.dir/apps_stencil.cc.o" "gcc" "src/workloads/CMakeFiles/nosync_workloads.dir/apps_stencil.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/nosync_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/nosync_workloads.dir/microbench.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/nosync_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/nosync_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/uts.cc" "src/workloads/CMakeFiles/nosync_workloads.dir/uts.cc.o" "gcc" "src/workloads/CMakeFiles/nosync_workloads.dir/uts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/nosync_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/nosync_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nosync_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nosync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosync_workloads.dir/apps_linalg.cc.o"
+  "CMakeFiles/nosync_workloads.dir/apps_linalg.cc.o.d"
+  "CMakeFiles/nosync_workloads.dir/apps_misc.cc.o"
+  "CMakeFiles/nosync_workloads.dir/apps_misc.cc.o.d"
+  "CMakeFiles/nosync_workloads.dir/apps_stencil.cc.o"
+  "CMakeFiles/nosync_workloads.dir/apps_stencil.cc.o.d"
+  "CMakeFiles/nosync_workloads.dir/microbench.cc.o"
+  "CMakeFiles/nosync_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/nosync_workloads.dir/registry.cc.o"
+  "CMakeFiles/nosync_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/nosync_workloads.dir/uts.cc.o"
+  "CMakeFiles/nosync_workloads.dir/uts.cc.o.d"
+  "libnosync_workloads.a"
+  "libnosync_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosync_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

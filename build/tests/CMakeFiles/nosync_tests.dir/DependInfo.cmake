@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coherence_random.cc" "tests/CMakeFiles/nosync_tests.dir/test_coherence_random.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_coherence_random.cc.o.d"
+  "/root/repo/tests/test_denovo_protocol.cc" "tests/CMakeFiles/nosync_tests.dir/test_denovo_protocol.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_denovo_protocol.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/nosync_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_gpu_exec.cc" "tests/CMakeFiles/nosync_tests.dir/test_gpu_exec.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_gpu_exec.cc.o.d"
+  "/root/repo/tests/test_gpu_protocol.cc" "tests/CMakeFiles/nosync_tests.dir/test_gpu_protocol.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_gpu_protocol.cc.o.d"
+  "/root/repo/tests/test_litmus.cc" "tests/CMakeFiles/nosync_tests.dir/test_litmus.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_litmus.cc.o.d"
+  "/root/repo/tests/test_litmus_extra.cc" "tests/CMakeFiles/nosync_tests.dir/test_litmus_extra.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_litmus_extra.cc.o.d"
+  "/root/repo/tests/test_mem_structures.cc" "tests/CMakeFiles/nosync_tests.dir/test_mem_structures.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_mem_structures.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/nosync_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_protocol_defs.cc" "tests/CMakeFiles/nosync_tests.dir/test_protocol_defs.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_protocol_defs.cc.o.d"
+  "/root/repo/tests/test_protocol_races.cc" "tests/CMakeFiles/nosync_tests.dir/test_protocol_races.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_protocol_races.cc.o.d"
+  "/root/repo/tests/test_report_and_apps.cc" "tests/CMakeFiles/nosync_tests.dir/test_report_and_apps.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_report_and_apps.cc.o.d"
+  "/root/repo/tests/test_sync_primitives.cc" "tests/CMakeFiles/nosync_tests.dir/test_sync_primitives.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_sync_primitives.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/nosync_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_types_and_stats.cc" "tests/CMakeFiles/nosync_tests.dir/test_types_and_stats.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_types_and_stats.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/nosync_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/nosync_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nosync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nosync_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/nosync_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/nosync_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nosync_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nosync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
