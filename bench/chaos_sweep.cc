@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Chaos sweep: fault-injection robustness harness.
+ *
+ * Runs a set of synchronization-heavy workloads across the five
+ * studied configurations, each under several fault-injection seeds
+ * (message latency jitter, cross-pair reordering, duplicated
+ * idempotent requests). For every run it demands:
+ *
+ *  - the workload completes (no hang, no watchdog),
+ *  - the functional check and the quiesced invariant sweep are clean,
+ *  - for timing-independent workloads, the final memory image matches
+ *    a fault-free golden execution word for word,
+ *  - re-running the same seed reproduces the exact cycle count,
+ *    energy, and traffic (determinism of the injected faults).
+ *
+ * Any violation prints full diagnostics (including the structured
+ * hang report when the run hung) and exits non-zero.
+ *
+ * Usage: chaos_sweep [--scale=N] [--seeds=N] [--check-period=N]
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol_checker.hh"
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workloads/registry.hh"
+
+using namespace nosync;
+
+namespace
+{
+
+struct ChaosOptions
+{
+    unsigned scalePercent = 30;
+    unsigned numSeeds = 5;
+    Tick checkPeriod = 2000;
+};
+
+ChaosOptions
+parseOptions(int argc, char **argv)
+{
+    ChaosOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            opts.scalePercent =
+                static_cast<unsigned>(std::atoi(argv[i] + 8));
+        else if (std::strncmp(argv[i], "--seeds=", 8) == 0)
+            opts.numSeeds =
+                static_cast<unsigned>(std::atoi(argv[i] + 8));
+        else if (std::strncmp(argv[i], "--check-period=", 15) == 0)
+            opts.checkPeriod =
+                static_cast<Tick>(std::atoll(argv[i] + 15));
+        else
+            std::cerr << "ignoring unknown option " << argv[i] << "\n";
+    }
+    return opts;
+}
+
+SystemConfig
+makeConfig(const ProtocolConfig &proto, const ChaosOptions &opts,
+           std::uint64_t fault_seed)
+{
+    SystemConfig config;
+    config.protocol = proto;
+    config.checkPeriod = opts.checkPeriod;
+    if (fault_seed != 0) {
+        config.faults.enabled = true;
+        config.faults.seed = fault_seed;
+    }
+    return config;
+}
+
+/** One simulation; exits the process on any check failure. */
+std::unique_ptr<System>
+runOrDie(const std::string &workload_name, const ProtocolConfig &proto,
+         const ChaosOptions &opts, std::uint64_t fault_seed,
+         RunResult &result_out)
+{
+    auto workload = makeScaled(workload_name, opts.scalePercent);
+    auto system =
+        std::make_unique<System>(makeConfig(proto, opts, fault_seed));
+    result_out = system->run(*workload);
+    if (!result_out.ok()) {
+        std::cerr << "CHAOS FAILURE: " << workload_name << " on "
+                  << proto.shortName() << " fault-seed=" << fault_seed
+                  << "\n";
+        for (const auto &failure : result_out.checkFailures)
+            std::cerr << "  " << failure << "\n";
+        if (result_out.hang)
+            std::cerr << renderHangReport(*result_out.hang);
+        std::exit(1);
+    }
+    return system;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ChaosOptions opts = parseOptions(argc, argv);
+
+    const std::vector<std::string> workloads = {
+        "FAM_G",  // decoupled fetch-add mutex, global scope
+        "SS_L",   // sleeping semaphore, local scope
+        "TB_LG",  // tree barrier, mixed scope
+    };
+    const std::vector<ProtocolConfig> configs = {
+        ProtocolConfig::gd(),   ProtocolConfig::gh(),
+        ProtocolConfig::dd(),   ProtocolConfig::ddro(),
+        ProtocolConfig::dh(),
+    };
+
+    unsigned runs = 0;
+    std::size_t faults_injected = 0;
+
+    for (const auto &name : workloads) {
+        bool deterministic =
+            makeScaled(name, opts.scalePercent)->deterministicOutput();
+
+        for (const auto &proto : configs) {
+            // Golden: fault-free reference execution of the same
+            // (workload, config). Kept alive for the memory compare.
+            RunResult golden_result;
+            auto golden =
+                runOrDie(name, proto, opts, 0, golden_result);
+            ++runs;
+
+            for (unsigned s = 1; s <= opts.numSeeds; ++s, ++runs) {
+                std::uint64_t seed = 0xc0ffee + 977 * s;
+                std::cerr << "  " << name << " on "
+                          << proto.shortName() << " fault-seed "
+                          << seed << "...\n";
+                RunResult result;
+                auto system =
+                    runOrDie(name, proto, opts, seed, result);
+                if (const FaultInjector *f = system->faults()) {
+                    faults_injected += f->jittered() + f->delayed() +
+                                       f->duplicated();
+                }
+
+                if (deterministic) {
+                    auto diffs = ProtocolChecker::compareMemory(
+                        *system, *golden);
+                    if (!diffs.empty()) {
+                        std::cerr << "CHAOS FAILURE: " << name
+                                  << " on " << proto.shortName()
+                                  << " fault-seed=" << seed
+                                  << " diverged from the golden "
+                                     "run:\n";
+                        for (const auto &d : diffs)
+                            std::cerr << "  " << d << "\n";
+                        return 1;
+                    }
+                }
+
+                if (s == 1) {
+                    // Reproducibility: the same seed must replay to
+                    // the exact same cycle count, energy, and
+                    // traffic.
+                    RunResult replay;
+                    auto replay_sys =
+                        runOrDie(name, proto, opts, seed, replay);
+                    ++runs;
+                    if (replay.cycles != result.cycles ||
+                        replay.energyTotal != result.energyTotal ||
+                        replay.trafficTotal != result.trafficTotal) {
+                        std::cerr
+                            << "CHAOS FAILURE: " << name << " on "
+                            << proto.shortName() << " fault-seed="
+                            << seed << " is not reproducible: "
+                            << result.cycles << " vs "
+                            << replay.cycles << " cycles, "
+                            << result.trafficTotal << " vs "
+                            << replay.trafficTotal << " flits\n";
+                        return 1;
+                    }
+                    auto diffs = ProtocolChecker::compareMemory(
+                        *replay_sys, *system);
+                    if (!diffs.empty()) {
+                        std::cerr << "CHAOS FAILURE: " << name
+                                  << " on " << proto.shortName()
+                                  << " fault-seed=" << seed
+                                  << " replay memory diverged\n";
+                        return 1;
+                    }
+                }
+            }
+        }
+    }
+
+    std::cout << "chaos sweep clean: " << runs << " runs ("
+              << workloads.size() << " workloads x " << configs.size()
+              << " configs x " << opts.numSeeds
+              << " fault seeds + goldens/replays), "
+              << faults_injected << " faults injected, zero invariant "
+              << "violations, zero hangs\n";
+    return 0;
+}

@@ -1420,6 +1420,117 @@ DenovoL1Cache::dumpState()
     return os.str();
 }
 
+ControllerSnapshot
+DenovoL1Cache::snapshot() const
+{
+    ControllerSnapshot snap;
+    snap.name = name();
+    snap.gauge("mshr", _mshr.size());
+    snap.gauge("sb", _sb.size());
+    snap.gauge("pending_writes", _pendingWrites);
+    snap.gauge("wb_lines", _wbBuffer.size());
+    snap.gauge("stalled_stores", _stalledStores.size());
+    snap.gauge("drain_waiters", _drainWaiters.size());
+    _mshr.forEach([&](Addr line_addr, const LineEntry &entry) {
+        std::ostringstream os;
+        os << "line 0x" << std::hex << line_addr
+           << " readPend=0x" << entry.readPending << " dataReg=0x"
+           << entry.dataRegPending << " syncReg=0x"
+           << entry.syncRegPending << " syncRun=0x"
+           << entry.syncRunning << " waitWb=0x" << entry.regWaitingWb
+           << std::dec << " targets=" << entry.readTargets.size()
+           << " syncQ=" << entry.syncQueue.size()
+           << " remoteQ=" << entry.remoteQueue.size();
+        snap.detail.push_back(os.str());
+    });
+    for (const auto &kv : _wbBuffer) {
+        std::ostringstream os;
+        os << "writeback line 0x" << std::hex << kv.first
+           << " mask=0x" << kv.second.mask << std::dec;
+        snap.detail.push_back(os.str());
+    }
+    return snap;
+}
+
+std::vector<std::string>
+DenovoL1Cache::checkInvariants(bool quiesced) const
+{
+    std::vector<std::string> out;
+    auto fail = [&](const std::string &msg) {
+        out.push_back(name() + ": " + msg);
+    };
+
+    unsigned data_reg_words = 0;
+    _mshr.forEach([&](Addr line_addr, const LineEntry &entry) {
+        data_reg_words += popcount(entry.dataRegPending);
+        WordMask pending = static_cast<WordMask>(
+            entry.dataRegPending | entry.syncRegPending);
+        if (entry.regWaitingWb & ~pending) {
+            std::ostringstream os;
+            os << "line 0x" << std::hex << line_addr
+               << ": regWaitingWb=0x" << entry.regWaitingWb
+               << " not covered by pending registrations 0x"
+               << pending;
+            fail(os.str());
+        }
+    });
+    if (data_reg_words != _pendingWrites) {
+        std::ostringstream os;
+        os << "pending-write count " << _pendingWrites
+           << " disagrees with MSHR dataRegPending total "
+           << data_reg_words;
+        fail(os.str());
+    }
+
+    for (const auto &kv : _wbBuffer) {
+        const WbEntry &wb = kv.second;
+        if (wb.mask == 0)
+            fail("empty writeback-buffer entry not reclaimed");
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            bool masked = (wb.mask >> w) & 1;
+            bool referenced = wb.refs[w] > 0;
+            if (masked != referenced) {
+                std::ostringstream os;
+                os << "writeback line 0x" << std::hex << kv.first
+                   << std::dec << " word " << w << ": mask bit "
+                   << masked << " vs refcount " << unsigned(wb.refs[w]);
+                fail(os.str());
+            }
+        }
+    }
+
+    if (quiesced) {
+        ControllerSnapshot snap = snapshot();
+        if (!snap.quiescent())
+            fail("state leaked at quiesce: " + snap.summary());
+    }
+    return out;
+}
+
+void
+DenovoL1Cache::forEachRegisteredWord(
+    const std::function<void(Addr)> &fn) const
+{
+    _array.forEachValid([&](const CacheLine &line) {
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (line.wstate[w] == WordState::Registered)
+                fn(line.addr + w * kWordBytes);
+        }
+    });
+}
+
+void
+DenovoL1Cache::debugCorruptWordState(Addr addr, WordState st)
+{
+    CacheLine *line = _array.lookup(addr);
+    if (!line) {
+        line = _array.findVictim(addr);
+        _array.install(*line, lineAlign(addr));
+    }
+    line->epoch = _curEpoch; // exempt from the lazy acquire sweep
+    line->wstate[wordInLine(addr)] = st;
+}
+
 WordState
 DenovoL1Cache::wordState(Addr addr) const
 {

@@ -27,6 +27,7 @@
 #include "coherence/denovo_l2.hh"
 #include "coherence/l1_controller.hh"
 #include "coherence/region_map.hh"
+#include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
 #include "mem/mshr.hh"
 #include "mem/store_buffer.hh"
@@ -100,6 +101,28 @@ class DenovoL1Cache : public L1Controller
     std::string dumpState();
     std::size_t storeBufferSize() const { return _sb.size(); }
     std::size_t mshrEntries() const { return _mshr.size(); }
+
+    // Diagnostics -----------------------------------------------------
+    /** Structured view of outstanding transaction state. */
+    ControllerSnapshot snapshot() const;
+
+    /**
+     * Controller-local invariant sweep. @p quiesced additionally
+     * requires every outstanding-state structure to be empty (leak
+     * detection). @return violation descriptions; empty when clean.
+     */
+    std::vector<std::string> checkInvariants(bool quiesced) const;
+
+    /** Invoke @p fn with the word address of every Registered word. */
+    void forEachRegisteredWord(
+        const std::function<void(Addr)> &fn) const;
+
+    /**
+     * Test hook for checker regression tests: force a word's
+     * coherence state, bypassing the protocol entirely. Installs a
+     * frame if the line is absent. NEVER call outside tests.
+     */
+    void debugCorruptWordState(Addr addr, WordState st);
 
   private:
     /** Remote request queued behind this CU's pending activity. */

@@ -450,4 +450,88 @@ DenovoL2Bank::ownerOf(Addr addr)
     return line->owner[w];
 }
 
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+ControllerSnapshot
+DenovoL2Bank::snapshot() const
+{
+    ControllerSnapshot snap;
+    snap.name = name();
+    snap.gauge("fetches", _fetches.size());
+    snap.gauge("stalled", _stalled.size());
+    snap.gauge("recalls", _recalls.size());
+    _fetches.forEach([&](Addr line_addr, const FetchEntry &entry) {
+        std::ostringstream os;
+        os << "fetch line 0x" << std::hex << line_addr << std::dec
+           << " waiters=" << entry.waiters.size()
+           << " dramDone=" << entry.dramDone;
+        snap.detail.push_back(os.str());
+    });
+    for (const auto &kv : _recalls) {
+        std::ostringstream os;
+        os << "recall line 0x" << std::hex << kv.first
+           << " outstanding=0x" << kv.second.outstanding << std::dec
+           << " deferred=" << kv.second.deferred.size()
+           << " blockedFetches=" << kv.second.blockedFetches.size();
+        snap.detail.push_back(os.str());
+    }
+    return snap;
+}
+
+std::vector<std::string>
+DenovoL2Bank::checkInvariants(bool quiesced) const
+{
+    std::vector<std::string> out;
+    _array.forEachValid([&](const CacheLine &line) {
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (line.wstate[w] != WordState::Registered)
+                continue;
+            NodeId owner = line.owner[w];
+            if (owner < 0 ||
+                static_cast<std::size_t>(owner) >= _l1s.size()) {
+                std::ostringstream os;
+                os << name() << ": word 0x" << std::hex
+                   << (line.addr + w * kWordBytes) << std::dec
+                   << " registered to invalid node " << owner;
+                out.push_back(os.str());
+            }
+        }
+    });
+    if (quiesced) {
+        ControllerSnapshot snap = snapshot();
+        if (!snap.quiescent()) {
+            out.push_back(name() + ": state leaked at quiesce: " +
+                          snap.summary());
+        }
+    }
+    return out;
+}
+
+void
+DenovoL2Bank::forEachRegisteredWord(
+    const std::function<void(Addr, NodeId)> &fn) const
+{
+    _array.forEachValid([&](const CacheLine &line) {
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if (line.wstate[w] == WordState::Registered)
+                fn(line.addr + w * kWordBytes, line.owner[w]);
+        }
+    });
+}
+
+void
+DenovoL2Bank::debugSetOwner(Addr addr, NodeId owner)
+{
+    CacheLine *line = _array.lookup(lineAlign(addr));
+    if (!line) {
+        line = _array.findVictim(lineAlign(addr));
+        _array.install(*line, lineAlign(addr));
+    }
+    unsigned w = wordInLine(addr);
+    line->wstate[w] = WordState::Registered;
+    line->owner[w] = static_cast<std::int8_t>(owner);
+}
+
 } // namespace nosync

@@ -22,6 +22,7 @@
 #include "coherence/cache_timings.hh"
 #include "coherence/l1_controller.hh"
 #include "coherence/protocol.hh"
+#include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
 #include "mem/functional_mem.hh"
 #include "mem/mshr.hh"
@@ -90,6 +91,29 @@ class DenovoL2Bank : public SimObject
     /** Test hooks. */
     std::uint32_t peekWord(Addr addr);
     NodeId ownerOf(Addr addr);
+
+    // Diagnostics -----------------------------------------------------
+    /** Structured view of outstanding transaction state. */
+    ControllerSnapshot snapshot() const;
+
+    /**
+     * Bank-local invariant sweep: every registry entry must point at
+     * a live L1; @p quiesced additionally requires empty fetch MSHRs,
+     * stall queues, and recalls. @return violations; empty if clean.
+     */
+    std::vector<std::string> checkInvariants(bool quiesced) const;
+
+    /** Invoke @p fn(word_addr, owner) for every registered word. */
+    void forEachRegisteredWord(
+        const std::function<void(Addr, NodeId)> &fn) const;
+
+    /**
+     * Test hook for checker regression tests: force a registry entry
+     * (word state Registered, owner id), bypassing the protocol.
+     * Installs a frame if the line is absent. NEVER call outside
+     * tests.
+     */
+    void debugSetOwner(Addr addr, NodeId owner);
 
   private:
     void withLine(Addr line_addr, std::function<void(CacheLine &)> fn);

@@ -103,6 +103,9 @@ GpuL1Cache::issueRead(Addr line_addr)
 {
     GpuL2Bank &bank = homeBank(line_addr);
     std::uint64_t sent_epoch = _curEpoch;
+    // Read requests are idempotent: a duplicated delivery only
+    // produces a second fill, which onFill drops as spurious. The
+    // flag lets the fault injector exercise exactly that path.
     _mesh.send(_node, bank.node(), kControlFlits, TrafficClass::Read,
                [this, line_addr, sent_epoch, &bank] {
                    bank.handleReadReq(
@@ -111,7 +114,8 @@ GpuL1Cache::issueRead(Addr line_addr)
                         sent_epoch](const LineData &data) {
                            onFill(line_addr, data, sent_epoch);
                        });
-               });
+               },
+               /*idempotent=*/true);
 }
 
 CacheLine &
@@ -185,7 +189,11 @@ GpuL1Cache::onFill(Addr line_addr, const LineData &data,
                    std::uint64_t sent_epoch)
 {
     ReadEntry *entry = _mshr.find(line_addr);
-    panic_if(!entry, "fill without MSHR entry");
+    if (!entry) {
+        // Spurious fill: a duplicated read request (fault injection)
+        // produced a second reply after the first retired the entry.
+        return;
+    }
     entry->requestOutstanding = false;
 
     if (sent_epoch == _curEpoch) {
@@ -619,6 +627,66 @@ GpuL1Cache::wordValid(Addr addr) const
         return true;
     return _config.consistency == ConsistencyModel::Hrf &&
            (line->dirty & (1u << w));
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+ControllerSnapshot
+GpuL1Cache::snapshot() const
+{
+    ControllerSnapshot snap;
+    snap.name = name();
+    snap.gauge("mshr", _mshr.size());
+    snap.gauge("sb", _sb.size());
+    snap.gauge("wt_acks", _pendingWtAcks);
+    snap.gauge("wt_words", _pendingWt.size());
+    snap.gauge("stalled_stores", _stalledStores.size());
+    snap.gauge("drain_waiters", _drainWaiters.size());
+    _mshr.forEach([&](Addr line_addr, const ReadEntry &entry) {
+        std::ostringstream os;
+        os << "line 0x" << std::hex << line_addr << std::dec
+           << " outstanding=" << entry.requestOutstanding
+           << " targets=" << entry.targets.size()
+           << " atomics=" << entry.atomicTargets.size();
+        snap.detail.push_back(os.str());
+    });
+    return snap;
+}
+
+std::vector<std::string>
+GpuL1Cache::checkInvariants(bool quiesced) const
+{
+    std::vector<std::string> out;
+    auto fail = [&](const std::string &msg) {
+        out.push_back(name() + ": " + msg);
+    };
+
+    _mshr.forEach([&](Addr line_addr, const ReadEntry &entry) {
+        if (!entry.requestOutstanding && entry.targets.empty() &&
+            entry.atomicTargets.empty()) {
+            std::ostringstream os;
+            os << "leaked MSHR entry for line 0x" << std::hex
+               << line_addr << " (no request, no waiters)";
+            fail(os.str());
+        }
+    });
+    for (const auto &kv : _pendingWt) {
+        if (kv.second.count == 0) {
+            std::ostringstream os;
+            os << "pending-writethrough entry for word 0x" << std::hex
+               << kv.first << " with zero refcount";
+            fail(os.str());
+        }
+    }
+
+    if (quiesced) {
+        ControllerSnapshot snap = snapshot();
+        if (!snap.quiescent())
+            fail("state leaked at quiesce: " + snap.summary());
+    }
+    return out;
 }
 
 } // namespace nosync

@@ -21,6 +21,7 @@
 #include "coherence/cache_timings.hh"
 #include "coherence/gpu_l2.hh"
 #include "coherence/l1_controller.hh"
+#include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
 #include "mem/mshr.hh"
 #include "mem/store_buffer.hh"
@@ -50,6 +51,18 @@ class GpuL1Cache : public L1Controller
     bool wordValid(Addr addr) const;
     /** Test hook: number of buffered stores. */
     std::size_t storeBufferSize() const { return _sb.size(); }
+
+    // Diagnostics -----------------------------------------------------
+    /** Structured view of outstanding transaction state. */
+    ControllerSnapshot snapshot() const;
+
+    /**
+     * Controller-local invariant sweep. @p quiesced additionally
+     * requires every outstanding-state structure to be empty (leak
+     * detection after the workload completed and the event queue
+     * drained). @return violation descriptions; empty when clean.
+     */
+    std::vector<std::string> checkInvariants(bool quiesced) const;
 
   private:
     /** A load waiting on a fill, with its acquire epoch at issue. */

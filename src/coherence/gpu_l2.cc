@@ -176,4 +176,42 @@ GpuL2Bank::peekWord(Addr addr)
     return _memory.readWord(addr);
 }
 
+ControllerSnapshot
+GpuL2Bank::snapshot() const
+{
+    ControllerSnapshot snap;
+    snap.name = name();
+    snap.gauge("fetches", _fetches.size());
+    snap.gauge("stalled", _stalled.size());
+    _fetches.forEach([&](Addr line_addr, const FetchEntry &entry) {
+        std::ostringstream os;
+        os << "fetch line 0x" << std::hex << line_addr << std::dec
+           << " waiters=" << entry.waiters.size();
+        snap.detail.push_back(os.str());
+    });
+    return snap;
+}
+
+std::vector<std::string>
+GpuL2Bank::checkInvariants(bool quiesced) const
+{
+    std::vector<std::string> out;
+    _fetches.forEach([&](Addr line_addr, const FetchEntry &entry) {
+        if (entry.waiters.empty()) {
+            std::ostringstream os;
+            os << name() << ": DRAM fetch of line 0x" << std::hex
+               << line_addr << " with no waiters";
+            out.push_back(os.str());
+        }
+    });
+    if (quiesced) {
+        ControllerSnapshot snap = snapshot();
+        if (!snap.quiescent()) {
+            out.push_back(name() + ": state leaked at quiesce: " +
+                          snap.summary());
+        }
+    }
+    return out;
+}
+
 } // namespace nosync

@@ -18,6 +18,7 @@
 #include "coherence/cache_timings.hh"
 #include "coherence/l1_controller.hh"
 #include "coherence/protocol.hh"
+#include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
 #include "mem/functional_mem.hh"
 #include "mem/mshr.hh"
@@ -55,6 +56,13 @@ class GpuL2Bank : public SimObject
 
     /** Direct functional peek used by tests. */
     std::uint32_t peekWord(Addr addr);
+
+    // Diagnostics -----------------------------------------------------
+    /** Structured view of outstanding transaction state. */
+    ControllerSnapshot snapshot() const;
+
+    /** Bank-local invariant sweep (see GpuL1Cache::checkInvariants). */
+    std::vector<std::string> checkInvariants(bool quiesced) const;
 
   private:
     /** Run @p fn on the (possibly DRAM-fetched) line after timing. */

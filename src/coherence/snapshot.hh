@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structured controller state snapshots for diagnostics.
+ *
+ * Every cache controller (both L1 flavours, both L2 flavours) can
+ * render its outstanding transaction state into a ControllerSnapshot:
+ * a set of named gauges (all of which read zero when the controller
+ * is quiescent) plus free-form per-entry detail lines. HangReport
+ * aggregates these across the system; the ProtocolChecker uses the
+ * gauges for leak detection at quiesce.
+ */
+
+#ifndef COHERENCE_SNAPSHOT_HH
+#define COHERENCE_SNAPSHOT_HH
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nosync
+{
+
+/** Point-in-time view of one controller's outstanding state. */
+struct ControllerSnapshot
+{
+    std::string name;
+
+    /**
+     * Named occupancy counters (MSHR entries, buffered stores,
+     * unacknowledged writebacks, ...). A well-behaved controller has
+     * every gauge at zero once the system quiesces.
+     */
+    std::vector<std::pair<std::string, std::size_t>> gauges;
+
+    /** Human-readable per-entry lines (one per in-flight line). */
+    std::vector<std::string> detail;
+
+    void
+    gauge(const std::string &label, std::size_t value)
+    {
+        gauges.emplace_back(label, value);
+    }
+
+    /** Whether every gauge reads zero. */
+    bool
+    quiescent() const
+    {
+        for (const auto &g : gauges) {
+            if (g.second != 0)
+                return false;
+        }
+        return true;
+    }
+
+    /** One-line rendering: "name: g1=v1 g2=v2 ...". */
+    std::string
+    summary() const
+    {
+        std::ostringstream os;
+        os << name << ":";
+        for (const auto &g : gauges)
+            os << " " << g.first << "=" << g.second;
+        return os.str();
+    }
+};
+
+} // namespace nosync
+
+#endif // COHERENCE_SNAPSHOT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Structured hang diagnostics.
+ *
+ * When a run ends without workload completion — the event queue
+ * drained with thread blocks still suspended (deadlock) or the cycle
+ * watchdog fired (livelock / pathological slowdown) — the System
+ * assembles a HangReport instead of a bare failure string: every
+ * outstanding piece of state that explains *why* nothing (or nothing
+ * useful) is happening, plus everything needed to reproduce the run.
+ */
+
+#ifndef CORE_HANG_REPORT_HH
+#define CORE_HANG_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "coherence/snapshot.hh"
+#include "noc/mesh.hh"
+
+namespace nosync
+{
+
+/** Everything known about a run that failed to complete. */
+struct HangReport
+{
+    /** Tick at which the run was declared hung. */
+    Tick tick = 0;
+
+    /** "deadlock" (queue empty) or "watchdog" (cycle limit). */
+    std::string reason;
+
+    std::string workload;
+    std::string config;
+
+    /** Whether fault injection was active, and under which seed. */
+    bool faultsEnabled = false;
+    std::uint64_t faultSeed = 0;
+
+    /** Per-thread-block coroutine wait states (incomplete TBs only). */
+    std::vector<std::string> tbWaits;
+
+    /** Messages still traversing the mesh at the hang tick. */
+    std::vector<InFlightMsg> meshMessages;
+
+    /** Snapshots of every non-quiescent cache controller. */
+    std::vector<ControllerSnapshot> controllers;
+
+    /** Protocol invariant violations found at the hang tick. */
+    std::vector<std::string> violations;
+};
+
+} // namespace nosync
+
+#endif // CORE_HANG_REPORT_HH

@@ -1,0 +1,169 @@
+#include "core/protocol_checker.hh"
+
+#include <map>
+#include <sstream>
+
+#include "core/system.hh"
+
+namespace nosync
+{
+
+namespace
+{
+
+std::string
+hexWord(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+ProtocolChecker::sweepRacy() const
+{
+    return sweep(false);
+}
+
+std::vector<std::string>
+ProtocolChecker::sweepQuiesced() const
+{
+    return sweep(true);
+}
+
+std::vector<std::string>
+ProtocolChecker::sweep(bool quiesced) const
+{
+    std::vector<std::string> out;
+    unsigned num_cus = _sys.config().numCus;
+    unsigned num_nodes = _sys.mesh().numNodes();
+
+    auto collect = [&](const std::vector<std::string> &v) {
+        out.insert(out.end(), v.begin(), v.end());
+    };
+
+    // Per-controller internal consistency (plus leak detection when
+    // quiesced).
+    for (unsigned cu = 0; cu < num_cus; ++cu) {
+        if (DenovoL1Cache *l1 = _sys.denovoL1(cu))
+            collect(l1->checkInvariants(quiesced));
+        if (GpuL1Cache *l1 = _sys.gpuL1(cu))
+            collect(l1->checkInvariants(quiesced));
+    }
+    for (unsigned bank = 0; bank < num_nodes; ++bank) {
+        if (DenovoL2Bank *b = _sys.denovoBank(bank))
+            collect(b->checkInvariants(quiesced));
+        if (GpuL2Bank *b = _sys.gpuBank(bank))
+            collect(b->checkInvariants(quiesced));
+    }
+
+    if (!_sys.denovoL1(0))
+        return out; // GPU protocol: no ownership state to cross-check.
+
+    // At most one L1 holds any word Registered, at every tick: on an
+    // ownership transfer the old owner downgrades before the transfer
+    // message is even sent.
+    std::map<Addr, std::vector<unsigned>> owners;
+    for (unsigned cu = 0; cu < num_cus; ++cu) {
+        _sys.denovoL1(cu)->forEachRegisteredWord(
+            [&](Addr addr) { owners[addr].push_back(cu); });
+    }
+    for (const auto &[addr, cus] : owners) {
+        if (cus.size() > 1) {
+            std::ostringstream os;
+            os << "word " << hexWord(addr) << " registered in "
+               << cus.size() << " L1s simultaneously (cus:";
+            for (unsigned cu : cus)
+                os << " " << cu;
+            os << ")";
+            out.push_back(os.str());
+        }
+        // Registration means the word was written. A read-only-region
+        // word is exempt from acquire-time self-invalidation in every
+        // L1 (DD+RO), so writing one would leave permanently stale
+        // copies behind: the region contract forbids it.
+        if (_sys.regions().isReadOnly(addr)) {
+            out.push_back("word " + hexWord(addr) +
+                          " registered (written) despite lying in the "
+                          "declared read-only region");
+        }
+    }
+
+    if (!quiesced)
+        return out;
+
+    // The remaining invariants only hold with no traffic in flight:
+    // mid-run, the registry records a new owner before that L1's
+    // registration completes, and stale Valid copies persist until the
+    // (lazy) self-invalidation on the reader's next acquire.
+
+    // L1 ownership and the L2 registry agree exactly.
+    for (const auto &[addr, cus] : owners) {
+        unsigned bank = static_cast<unsigned>(
+            (lineAlign(addr) / kLineBytes) % num_nodes);
+        NodeId reg_owner = _sys.denovoBank(bank)->ownerOf(addr);
+        if (reg_owner != static_cast<NodeId>(cus.front())) {
+            std::ostringstream os;
+            os << "word " << hexWord(addr) << " registered in L1 of cu "
+               << cus.front() << " but the registry names "
+               << reg_owner;
+            out.push_back(os.str());
+        }
+    }
+    for (unsigned bank = 0; bank < num_nodes; ++bank) {
+        _sys.denovoBank(bank)->forEachRegisteredWord(
+            [&](Addr addr, NodeId owner) {
+                if (owner >= 0 &&
+                    static_cast<unsigned>(owner) < num_cus &&
+                    _sys.denovoL1(static_cast<unsigned>(owner))
+                        ->ownsWord(addr)) {
+                    return;
+                }
+                std::ostringstream os;
+                os << "registry entry: word " << hexWord(addr)
+                   << " owned by cu " << owner
+                   << " but that L1 does not hold it registered";
+                out.push_back(os.str());
+            });
+    }
+
+    // Note there is deliberately no "no other L1 holds the word
+    // Valid" check: DeNovo never invalidates remote copies. A reader's
+    // stale Valid copy legitimately persists until that reader's next
+    // acquire sweeps it (lazily, via the epoch mechanism), and DRF
+    // guarantees no read happens before such an acquire. Only copies
+    // exempt from the sweep (registered elsewhere, or read-only
+    // region) can go permanently stale, and both are checked above.
+
+    return out;
+}
+
+std::vector<std::string>
+ProtocolChecker::compareMemory(System &test, System &golden)
+{
+    std::vector<std::string> out;
+    Addr top = std::min(test.allocTop(), golden.allocTop());
+    std::size_t mismatches = 0;
+    for (Addr addr = System::kAllocBase; addr < top;
+         addr += kWordBytes) {
+        std::uint32_t got = test.debugRead(addr);
+        std::uint32_t want = golden.debugRead(addr);
+        if (got == want)
+            continue;
+        if (++mismatches <= 10) {
+            std::ostringstream os;
+            os << "memory mismatch at " << hexWord(addr) << ": got "
+               << got << ", golden run has " << want;
+            out.push_back(os.str());
+        }
+    }
+    if (mismatches > 10) {
+        out.push_back("... and " + std::to_string(mismatches - 10) +
+                      " more memory mismatches");
+    }
+    return out;
+}
+
+} // namespace nosync

@@ -126,4 +126,53 @@ renderTrafficBreakdown(const std::vector<WorkloadResults> &results,
         });
 }
 
+std::string
+renderHangReport(const HangReport &report)
+{
+    std::ostringstream os;
+    os << "== HANG REPORT ==\n";
+    os << "reason:    " << report.reason << "\n";
+    os << "tick:      " << report.tick << "\n";
+    os << "reproduce: workload=" << report.workload
+       << " config=" << report.config;
+    if (report.faultsEnabled)
+        os << " fault-seed=" << report.faultSeed;
+    else
+        os << " (fault injection off)";
+    os << "\n";
+
+    os << "-- thread blocks (" << report.tbWaits.size()
+       << " incomplete) --\n";
+    for (const auto &tb : report.tbWaits)
+        os << "  " << tb << "\n";
+
+    os << "-- in-flight mesh messages (" << report.meshMessages.size()
+       << ") --\n";
+    for (const auto &msg : report.meshMessages) {
+        os << "  " << msg.src << " -> " << msg.dst << " "
+           << trafficClassNames()[static_cast<std::size_t>(msg.cls)]
+           << " " << msg.flits << " flits, sent tick " << msg.sent
+           << ", arrives tick " << msg.arrives
+           << (msg.duplicate ? " (injected duplicate)" : "") << "\n";
+    }
+
+    os << "-- non-quiescent controllers (" << report.controllers.size()
+       << ") --\n";
+    for (const auto &snap : report.controllers) {
+        os << "  " << snap.summary() << "\n";
+        for (const auto &line : snap.detail)
+            os << "    " << line << "\n";
+    }
+
+    os << "-- invariant sweep at hang tick --\n";
+    if (report.violations.empty()) {
+        os << "  clean (hang is a liveness failure, not a protocol "
+              "state corruption)\n";
+    } else {
+        for (const auto &v : report.violations)
+            os << "  " << v << "\n";
+    }
+    return os.str();
+}
+
 } // namespace nosync

@@ -52,6 +52,14 @@ double averageNormalized(const std::vector<WorkloadResults> &results,
 /** Extract a metric scalar from a run result. */
 double metricOf(const RunResult &run, int metric);
 
+/**
+ * Render a HangReport as a multi-line diagnostic block: the reason,
+ * the reproduction line (workload, config, fault seed), per-TB
+ * coroutine wait states, in-flight mesh messages, and every
+ * non-quiescent controller's snapshot.
+ */
+std::string renderHangReport(const HangReport &report);
+
 } // namespace nosync
 
 #endif // CORE_REPORT_HH

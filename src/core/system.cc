@@ -1,5 +1,7 @@
 #include "core/system.hh"
 
+#include "core/protocol_checker.hh"
+
 namespace nosync
 {
 
@@ -7,6 +9,10 @@ System::System(const SystemConfig &config) : _config(config)
 {
     _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
     _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh);
+    if (_config.faults.enabled) {
+        _faults = std::make_unique<FaultInjector>(_config.faults);
+        _mesh->setFaultInjector(_faults.get());
+    }
 
     unsigned num_nodes = _mesh->numNodes();
     fatal_if(_config.numCus >= num_nodes,
@@ -138,6 +144,25 @@ System::declareReadOnly(Addr base, Addr bytes)
     _regions.addReadOnly(base, bytes);
 }
 
+void
+System::collectMetrics(RunResult &result)
+{
+    // Network energy accrues from the final flit counts.
+    _energy->flitCrossings(_mesh->totalFlitCrossings());
+
+    for (std::size_t c = 0; c < kNumEnergyComponents; ++c) {
+        result.energy[c] =
+            _energy->component(static_cast<EnergyComponent>(c));
+    }
+    result.energyTotal = _energy->total();
+
+    for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
+        result.traffic[c] =
+            _mesh->flitCrossings(static_cast<TrafficClass>(c));
+    }
+    result.trafficTotal = _mesh->totalFlitCrossings();
+}
+
 RunResult
 System::run(Workload &workload)
 {
@@ -157,8 +182,23 @@ System::run(Workload &workload)
         done_tick = _eq.now();
     });
 
-    while (!done && !_eq.empty() && _eq.now() < _config.maxCycles)
+    // Periodic invariant sweeps run from this driver loop, never from
+    // scheduled events: a recurring event would keep the queue
+    // non-empty and defeat deadlock detection.
+    ProtocolChecker checker(*this);
+    Tick next_sweep =
+        _config.checkPeriod ? _config.checkPeriod : 0;
+    std::vector<std::string> sweep_violations;
+
+    while (!done && !_eq.empty() && _eq.now() < _config.maxCycles) {
         _eq.step();
+        if (next_sweep && _eq.now() >= next_sweep) {
+            sweep_violations = checker.sweepRacy();
+            if (!sweep_violations.empty())
+                break; // fail loudly, with state intact
+            next_sweep = _eq.now() + _config.checkPeriod;
+        }
+    }
 
     if (done) {
         // Quiesce: in-flight protocol traffic (e.g. eviction
@@ -170,38 +210,71 @@ System::run(Workload &workload)
     RunResult result;
     result.workload = workload.name();
     result.config = _config.protocol.shortName();
+    result.cycles = done ? done_tick : _eq.now();
 
-    if (!done) {
+    if (!sweep_violations.empty()) {
         result.checkFailures.push_back(
-            _eq.empty() ? "simulation deadlocked (event queue empty "
-                          "before workload completion)"
-                        : "simulation exceeded the cycle watchdog");
-        for (auto &l1 : _denovoL1s)
-            result.checkFailures.push_back(l1->dumpState());
-        result.cycles = _eq.now();
+            "protocol invariant violated at tick " +
+            std::to_string(_eq.now()));
+        for (auto &v : sweep_violations)
+            result.checkFailures.push_back(std::move(v));
+        collectMetrics(result);
         return result;
     }
 
-    // Network energy accrues from the final flit counts.
-    _energy->flitCrossings(_mesh->totalFlitCrossings());
+    if (!done) {
+        HangReport report;
+        report.tick = _eq.now();
+        report.reason =
+            _eq.empty() ? "deadlock: event queue empty before "
+                          "workload completion"
+                        : "watchdog: cycle limit (" +
+                              std::to_string(_config.maxCycles) +
+                              ") exceeded";
+        report.workload = result.workload;
+        report.config = result.config;
+        report.faultsEnabled = _config.faults.enabled;
+        report.faultSeed = _config.faults.seed;
+        report.tbWaits = device.waitStates();
+        for (const auto &msg : _mesh->inFlight())
+            report.meshMessages.push_back(msg.second);
+        auto keep_busy = [&](ControllerSnapshot snap) {
+            if (!snap.quiescent())
+                report.controllers.push_back(std::move(snap));
+        };
+        for (auto &l1 : _denovoL1s)
+            keep_busy(l1->snapshot());
+        for (auto &l1 : _gpuL1s)
+            keep_busy(l1->snapshot());
+        for (auto &bank : _denovoBanks)
+            keep_busy(bank->snapshot());
+        for (auto &bank : _gpuBanks)
+            keep_busy(bank->snapshot());
+        report.violations = checker.sweepRacy();
+
+        result.checkFailures.push_back(report.reason);
+        for (const auto &v : report.violations)
+            result.checkFailures.push_back(v);
+        result.hang = std::move(report);
+
+        // The hung run's partial metrics still matter (a watchdog
+        // fires on livelock, where traffic and energy explain what
+        // spun); account the flits crossed so far.
+        collectMetrics(result);
+        return result;
+    }
 
     result.cycles = done_tick;
     _stats.scalar("sim.exec_cycles", "workload execution time")
         .set(static_cast<double>(result.cycles));
 
-    for (std::size_t c = 0; c < kNumEnergyComponents; ++c) {
-        result.energy[c] =
-            _energy->component(static_cast<EnergyComponent>(c));
-    }
-    result.energyTotal = _energy->total();
-
-    for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
-        result.traffic[c] =
-            _mesh->flitCrossings(static_cast<TrafficClass>(c));
-    }
-    result.trafficTotal = _mesh->totalFlitCrossings();
+    collectMetrics(result);
 
     result.checkFailures = workload.check(*this);
+    if (_config.checkAtQuiesce) {
+        for (auto &v : checker.sweepQuiesced())
+            result.checkFailures.push_back(std::move(v));
+    }
     return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "coherence/gpu_l1.hh"
 #include "coherence/gpu_l2.hh"
 #include "coherence/region_map.hh"
+#include "core/hang_report.hh"
 #include "core/system_config.hh"
 #include "energy/energy_model.hh"
 #include "gpu/gpu_device.hh"
@@ -52,6 +54,9 @@ struct RunResult
     /** Functional-check failures; empty on success. */
     std::vector<std::string> checkFailures;
 
+    /** Populated when the run ended without workload completion. */
+    std::optional<HangReport> hang;
+
     bool ok() const { return checkFailures.empty(); }
 };
 
@@ -59,6 +64,9 @@ struct RunResult
 class System : public WorkloadEnv
 {
   public:
+    /** Base of the workload heap (below lies scratch/unused space). */
+    static constexpr Addr kAllocBase = 0x10000;
+
     explicit System(const SystemConfig &config);
     ~System() override;
 
@@ -84,6 +92,7 @@ class System : public WorkloadEnv
     EventQueue &eventQueue() { return _eq; }
     stats::StatSet &stats() { return _stats; }
     Mesh &mesh() { return *_mesh; }
+    FaultInjector *faults() { return _faults.get(); }
     EnergyModel &energy() { return *_energy; }
     FunctionalMem &memory() { return _memory; }
     RegionMap &regions() { return _regions; }
@@ -93,7 +102,12 @@ class System : public WorkloadEnv
     GpuL2Bank *gpuBank(unsigned bank);
     DenovoL2Bank *denovoBank(unsigned bank);
 
+    /** End of the allocated workload heap (checker memory sweeps). */
+    Addr allocTop() const { return _allocNext; }
+
   private:
+    /** Fold the final flit/energy tallies into @p result. */
+    void collectMetrics(RunResult &result);
     SystemConfig _config;
     EventQueue _eq;
     stats::StatSet _stats;
@@ -101,6 +115,7 @@ class System : public WorkloadEnv
     RegionMap _regions;
     std::unique_ptr<EnergyModel> _energy;
     std::unique_ptr<Mesh> _mesh;
+    std::unique_ptr<FaultInjector> _faults;
 
     std::vector<std::unique_ptr<GpuL2Bank>> _gpuBanks;
     std::vector<std::unique_ptr<DenovoL2Bank>> _denovoBanks;
@@ -108,7 +123,7 @@ class System : public WorkloadEnv
     std::vector<std::unique_ptr<DenovoL1Cache>> _denovoL1s;
     std::vector<L1Controller *> _l1s;
 
-    Addr _allocNext = 0x10000;
+    Addr _allocNext = kAllocBase;
     bool _ran = false;
 };
 

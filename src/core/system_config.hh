@@ -12,6 +12,7 @@
 #include "coherence/cache_timings.hh"
 #include "coherence/protocol.hh"
 #include "energy/energy_model.hh"
+#include "noc/fault_injector.hh"
 #include "noc/mesh.hh"
 
 namespace nosync
@@ -39,6 +40,20 @@ struct SystemConfig
 
     /** Watchdog: abort runs exceeding this many cycles. */
     Tick maxCycles = 2'000'000'000ull;
+
+    /** Message-delivery fault injection (chaos testing). */
+    FaultConfig faults{};
+
+    /**
+     * Period (cycles) of in-run protocol invariant sweeps; 0 turns
+     * the periodic sweeps off. Sweeps run from the simulation driver
+     * loop, never from the event queue, so an otherwise-idle system
+     * still deadlock-detects.
+     */
+    Tick checkPeriod = 0;
+
+    /** Run the full invariant sweep after the workload quiesces. */
+    bool checkAtQuiesce = true;
 
     /** Convenience: same machine, different protocol configuration. */
     SystemConfig

@@ -74,8 +74,22 @@ GpuDevice::startTbs()
     for (auto &ctx : _contexts) {
         unsigned cu = ctx->cu();
         SimTask task = _workload.tbMain(*ctx);
-        task.start([this, cu] { onTbDone(cu); });
+        task.start([this, cu, c = ctx.get()] {
+            c->markDone();
+            onTbDone(cu);
+        });
     }
+}
+
+std::vector<std::string>
+GpuDevice::waitStates() const
+{
+    std::vector<std::string> out;
+    for (const auto &ctx : _contexts) {
+        if (!ctx->done())
+            out.push_back(ctx->waitSummary());
+    }
+    return out;
 }
 
 void

@@ -38,6 +38,13 @@ class GpuDevice : public SimObject
     /** Run every kernel; @p on_complete fires after the last drain. */
     void run(DoneCallback on_complete);
 
+    /**
+     * Per-thread-block coroutine wait states of the current kernel,
+     * one line per still-running TB (for hang diagnostics). Empty
+     * between kernels.
+     */
+    std::vector<std::string> waitStates() const;
+
   private:
     void launchKernel();
     void startTbs();

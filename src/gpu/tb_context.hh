@@ -13,6 +13,8 @@
 #define GPU_TB_CONTEXT_HH
 
 #include <coroutine>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "coherence/l1_controller.hh"
@@ -47,6 +49,43 @@ class TbContext
     L1Controller &l1() { return _l1; }
     Tick now() const { return _eq.now(); }
 
+    // Wait-state tracking (hang diagnostics) --------------------------
+
+    /** Record what this TB's coroutine is suspended on. */
+    void
+    beginWait(std::string what)
+    {
+        _waitWhat = std::move(what);
+        _waitSince = _eq.now();
+        _waiting = true;
+    }
+
+    /** Clear the wait record just before the coroutine resumes. */
+    void endWait() { _waiting = false; }
+
+    /** Mark the coroutine as run to completion. */
+    void markDone() { _done = true; }
+
+    bool done() const { return _done; }
+    bool waiting() const { return _waiting; }
+
+    /** One-line description of the suspension, for HangReport. */
+    std::string
+    waitSummary() const
+    {
+        std::ostringstream os;
+        os << "kernel " << _kernel << " tb " << _tbGlobal << " (cu "
+           << _cu << "): ";
+        if (_done)
+            os << "completed";
+        else if (!_waiting)
+            os << "runnable (between awaits)";
+        else
+            os << "awaiting " << _waitWhat << " since tick "
+               << _waitSince;
+        return os.str();
+    }
+
     /** Awaitable data load. */
     auto
     load(Addr addr)
@@ -62,8 +101,10 @@ class TbContext
             void
             await_suspend(std::coroutine_handle<> h)
             {
+                ctx->beginWait("load " + describeAddr(addr));
                 ctx->_l1.load(addr, [this, h](std::uint32_t v) {
                     value = v;
+                    ctx->endWait();
                     h.resume();
                 });
             }
@@ -89,14 +130,19 @@ class TbContext
             void
             await_suspend(std::coroutine_handle<> h)
             {
+                ctx->beginWait(
+                    "loadMany of " + std::to_string(addrs.size()) +
+                    " words at " + describeAddr(addrs.front()));
                 values.assign(addrs.size(), 0);
                 remaining = static_cast<unsigned>(addrs.size());
                 for (std::size_t i = 0; i < addrs.size(); ++i) {
                     ctx->_l1.load(addrs[i],
                                   [this, i, h](std::uint32_t v) {
                                       values[i] = v;
-                                      if (--remaining == 0)
+                                      if (--remaining == 0) {
+                                          ctx->endWait();
                                           h.resume();
+                                      }
                                   });
                 }
             }
@@ -125,11 +171,16 @@ class TbContext
             void
             await_suspend(std::coroutine_handle<> h)
             {
+                ctx->beginWait(
+                    "storeMany of " + std::to_string(stores.size()) +
+                    " words at " + describeAddr(stores.front().first));
                 remaining = static_cast<unsigned>(stores.size());
                 for (const auto &[addr, value] : stores) {
                     ctx->_l1.store(addr, value, [this, h] {
-                        if (--remaining == 0)
+                        if (--remaining == 0) {
+                            ctx->endWait();
                             h.resume();
+                        }
                     });
                 }
             }
@@ -154,7 +205,11 @@ class TbContext
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                ctx->_l1.store(addr, value, [h] { h.resume(); });
+                ctx->beginWait("store " + describeAddr(addr));
+                ctx->_l1.store(addr, value, [this, h] {
+                    ctx->endWait();
+                    h.resume();
+                });
             }
 
             void await_resume() {}
@@ -177,8 +232,10 @@ class TbContext
             void
             await_suspend(std::coroutine_handle<> h)
             {
+                ctx->beginWait(describeSync(op));
                 ctx->_l1.sync(op, [this, h](std::uint32_t v) {
                     value = v;
+                    ctx->endWait();
                     h.resume();
                 });
             }
@@ -202,7 +259,13 @@ class TbContext
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                ctx->_eq.scheduleIn(cycles, [h] { h.resume(); },
+                ctx->beginWait("delay of " + std::to_string(cycles) +
+                               " cycles");
+                ctx->_eq.scheduleIn(cycles,
+                                    [c = ctx, h] {
+                                        c->endWait();
+                                        h.resume();
+                                    },
                                     EventPriority::CuIssue);
             }
 
@@ -287,6 +350,32 @@ class TbContext
     }
 
   private:
+    static std::string
+    describeAddr(Addr addr)
+    {
+        std::ostringstream os;
+        os << "0x" << std::hex << addr;
+        return os.str();
+    }
+
+    static std::string
+    describeSync(const SyncOp &op)
+    {
+        const char *func = "?";
+        switch (op.func) {
+          case AtomicFunc::Load: func = "atomic-load"; break;
+          case AtomicFunc::Store: func = "atomic-store"; break;
+          case AtomicFunc::FetchAdd: func = "fetch-add"; break;
+          case AtomicFunc::Exchange: func = "exchange"; break;
+          case AtomicFunc::CompareSwap: func = "compare-swap"; break;
+        }
+        std::ostringstream os;
+        os << func << " " << describeAddr(op.addr) << " ("
+           << (op.scope == Scope::Local ? "local" : "global")
+           << " scope)";
+        return os.str();
+    }
+
     EventQueue &_eq;
     L1Controller &_l1;
     EnergyModel &_energy;
@@ -297,6 +386,12 @@ class TbContext
     unsigned _tbOnCu;
     unsigned _numCus;
     unsigned _tbsPerCu;
+
+    // Wait-state tracking for hang diagnostics.
+    std::string _waitWhat;
+    Tick _waitSince = 0;
+    bool _waiting = false;
+    bool _done = false;
 };
 
 } // namespace nosync

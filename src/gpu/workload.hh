@@ -85,6 +85,14 @@ class Workload
         (void)env;
         return {};
     }
+
+    /**
+     * Whether the final memory image is independent of event timing.
+     * Timing-dependent workloads (e.g. work stealing, where the
+     * traversal order decides which queue slots hold which nodes) are
+     * excluded from the fault harness's golden-run memory comparison.
+     */
+    virtual bool deterministicOutput() const { return true; }
 };
 
 } // namespace nosync

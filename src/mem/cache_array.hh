@@ -220,6 +220,16 @@ class CacheArray
         }
     }
 
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const auto &line : _lines) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
   private:
     CacheLine *
     setBase(Addr line_addr)

@@ -78,6 +78,14 @@ class MshrTable
             fn(kv.first, kv.second);
     }
 
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : _entries)
+            fn(kv.first, kv.second);
+    }
+
   private:
     std::size_t _capacity;
     std::map<Addr, PayloadT> _entries;

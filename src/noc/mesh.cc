@@ -63,8 +63,25 @@ Mesh::linkIndex(NodeId from, NodeId to) const
 }
 
 void
+Mesh::scheduleDelivery(Tick arrives, NodeId src, NodeId dst,
+                       TrafficClass cls, unsigned flits,
+                       std::function<void()> deliver, bool duplicate)
+{
+    std::uint64_t id = _nextMsgId++;
+    _inFlight.emplace(id, InFlightMsg{src, dst, cls, flits, curTick(),
+                                      arrives, duplicate});
+    eventQueue().schedule(
+        arrives,
+        [this, id, d = std::move(deliver)] {
+            _inFlight.erase(id);
+            d();
+        },
+        EventPriority::NetworkDelivery);
+}
+
+void
 Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
-           std::function<void()> deliver)
+           std::function<void()> deliver, bool idempotent)
 {
     panic_if(src < 0 || dst < 0 ||
                  static_cast<unsigned>(src) >= numNodes() ||
@@ -73,32 +90,48 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
     auto cls_idx = static_cast<std::size_t>(cls);
     _messages.add(cls_idx);
 
+    unsigned num_hops = 0;
+    Tick t;
     if (src == dst) {
         // Local slice access: no link crossings, small fixed delay.
-        scheduleIn(_params.localLatency, std::move(deliver),
-                   EventPriority::NetworkDelivery);
-        return;
+        t = curTick() + _params.localLatency;
+    } else {
+        num_hops = hops(src, dst);
+        _flitCrossings.add(cls_idx,
+                           static_cast<double>(flits) * num_hops);
+
+        // Walk the XY route accumulating serialization and queueing
+        // delay on every link crossed.
+        t = curTick();
+        NodeId at = src;
+        while (at != dst) {
+            NodeId next = nextHop(at, dst);
+            Tick &free_at = _linkFree[linkIndex(at, next)];
+            Tick start = std::max(t, free_at);
+            free_at = start + flits; // 1 flit / cycle / link
+            t = start + flits + _params.hopLatency;
+            at = next;
+        }
     }
 
-    unsigned num_hops = hops(src, dst);
-    _flitCrossings.add(cls_idx,
-                       static_cast<double>(flits) * num_hops);
-
-    // Walk the XY route accumulating serialization and queueing
-    // delay on every link crossed.
-    Tick t = curTick();
-    NodeId at = src;
-    while (at != dst) {
-        NodeId next = nextHop(at, dst);
-        Tick &free_at = _linkFree[linkIndex(at, next)];
-        Tick start = std::max(t, free_at);
-        free_at = start + flits; // 1 flit / cycle / link
-        t = start + flits + _params.hopLatency;
-        at = next;
+    if (_faults != nullptr) {
+        t = _faults->adjust(src, dst, t);
+        if (idempotent && _faults->rollDuplicate()) {
+            // Second delivery of the same closure, after the first
+            // (adjust() clamps to the pair's latest arrival, so the
+            // duplicate never overtakes the original).
+            Tick dup_t = _faults->adjust(
+                src, dst, t + _faults->duplicateDelay());
+            _messages.add(cls_idx);
+            _flitCrossings.add(cls_idx,
+                               static_cast<double>(flits) * num_hops);
+            scheduleDelivery(dup_t, src, dst, cls, flits, deliver,
+                             true);
+        }
     }
 
-    eventQueue().schedule(t, std::move(deliver),
-                          EventPriority::NetworkDelivery);
+    scheduleDelivery(t, src, dst, cls, flits, std::move(deliver),
+                     false);
 }
 
 Cycles

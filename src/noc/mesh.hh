@@ -11,7 +11,9 @@
  *
  * Delivery is closure-based: the sender provides the action to run at
  * the destination when the message arrives, keeping the network
- * independent of protocol message formats.
+ * independent of protocol message formats. That seam also hosts the
+ * optional FaultInjector (delivery perturbation for chaos testing)
+ * and an in-flight message registry consumed by hang diagnostics.
  */
 
 #ifndef NOC_MESH_HH
@@ -19,8 +21,10 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <vector>
 
+#include "noc/fault_injector.hh"
 #include "noc/traffic.hh"
 #include "sim/event_queue.hh"
 #include "sim/sim_object.hh"
@@ -41,6 +45,18 @@ struct MeshParams
     Cycles localLatency = 1;
 };
 
+/** A message injected but not yet delivered (diagnostics). */
+struct InFlightMsg
+{
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    TrafficClass cls = TrafficClass::Read;
+    unsigned flits = 0;
+    Tick sent = 0;
+    Tick arrives = 0;
+    bool duplicate = false;
+};
+
 /** 2D mesh with XY routing and per-link serialization. */
 class Mesh : public SimObject
 {
@@ -55,10 +71,14 @@ class Mesh : public SimObject
 
     /**
      * Send a message of @p flits flits from @p src to @p dst; @p
-     * deliver runs at the destination's arrival tick.
+     * deliver runs at the destination's arrival tick. A sender marks
+     * the message @p idempotent when delivering it twice is
+     * harmless (pure requests whose responses are deduplicated by
+     * the receiver); only such messages may be duplicated by an
+     * attached fault injector.
      */
     void send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
-              std::function<void()> deliver);
+              std::function<void()> deliver, bool idempotent = false);
 
     /**
      * Best-case (uncontended) one-way latency between two nodes for a
@@ -73,6 +93,19 @@ class Mesh : public SimObject
     /** Total flit crossings across all classes. */
     double totalFlitCrossings() const;
 
+    // Fault injection -------------------------------------------------
+    /** Attach (or detach, with nullptr) a fault injector. */
+    void setFaultInjector(FaultInjector *inj) { _faults = inj; }
+    FaultInjector *faultInjector() { return _faults; }
+
+    // Diagnostics -----------------------------------------------------
+    /** Messages injected but not yet delivered, in injection order. */
+    const std::map<std::uint64_t, InFlightMsg> &
+    inFlight() const
+    {
+        return _inFlight;
+    }
+
   private:
     /** Index of the unidirectional link from @p from to @p to. */
     std::size_t linkIndex(NodeId from, NodeId to) const;
@@ -80,9 +113,21 @@ class Mesh : public SimObject
     /** Next node on the XY route from @p at toward @p dst. */
     NodeId nextHop(NodeId at, NodeId dst) const;
 
+    /** Track the message and schedule its delivery at @p arrives. */
+    void scheduleDelivery(Tick arrives, NodeId src, NodeId dst,
+                          TrafficClass cls, unsigned flits,
+                          std::function<void()> deliver,
+                          bool duplicate);
+
     MeshParams _params;
     /** Earliest tick each unidirectional link is free. */
     std::vector<Tick> _linkFree;
+    FaultInjector *_faults = nullptr;
+
+    /** In-flight registry, keyed by a monotonic message id. */
+    std::map<std::uint64_t, InFlightMsg> _inFlight;
+    std::uint64_t _nextMsgId = 0;
+
     stats::Vector &_flitCrossings;
     stats::Vector &_messages;
 };

@@ -43,6 +43,9 @@ class Uts : public Workload
     SimTask tbMain(TbContext &ctx) override;
     std::vector<std::string> check(WorkloadEnv &env) override;
 
+    /** Work stealing: which CU processes which node is timing-bound. */
+    bool deterministicOutput() const override { return false; }
+
     /** Deterministic expected payload of a processed node. */
     static std::uint32_t
     nodeValue(std::uint32_t node)

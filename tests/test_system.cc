@@ -82,6 +82,7 @@ TEST(System, RunFillsReportFields)
 
 TEST(System, WatchdogReportsFailure)
 {
+    ScopedLeakTolerance tolerate_abandoned_coroutines;
     // A spin mutex can't finish in 100 cycles.
     auto workload = makeScaled("SPM_G", 10);
     SystemConfig config;

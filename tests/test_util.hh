@@ -9,10 +9,40 @@
 #include <string>
 #include <vector>
 
+#if defined(__SANITIZE_ADDRESS__)
+#define NOSYNC_HAS_LSAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NOSYNC_HAS_LSAN 1
+#endif
+#endif
+#ifdef NOSYNC_HAS_LSAN
+#include <sanitizer/lsan_interface.h>
+#endif
+
 #include "core/system.hh"
 
 namespace nosync::test
 {
+
+/**
+ * LeakSanitizer tolerance for intentionally-hung runs. A hung run
+ * abandons its suspended coroutine frames: started SimTasks are
+ * detached and self-destroy only at completion, so thread blocks
+ * still awaiting a memory op when the watchdog fires leak their
+ * frames. Acceptable on that terminal diagnostic path, but tests
+ * that hang a run on purpose must scope it out of leak checking.
+ */
+struct ScopedLeakTolerance
+{
+#ifdef NOSYNC_HAS_LSAN
+    ScopedLeakTolerance() { __lsan_disable(); }
+    ~ScopedLeakTolerance() { __lsan_enable(); }
+#else
+    ScopedLeakTolerance() {}
+    ~ScopedLeakTolerance() {}
+#endif
+};
 
 /** The five studied configurations plus the DD+BO extension. */
 inline std::vector<ProtocolConfig>
