@@ -17,49 +17,78 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
+
+    struct Cell
+    {
+        const char *name;
+        ProtocolConfig proto;
+    };
+    std::vector<Cell> cells;
+    for (const char *name : {"NN", "LAVA", "SPM_G", "UTS"}) {
+        for (const auto &proto :
+             {ProtocolConfig::gd(), ProtocolConfig::gh(),
+              ProtocolConfig::dd(), ProtocolConfig::dh()})
+            cells.push_back(Cell{name, proto});
+    }
+
+    struct CellResult
+    {
+        RunResult run;
+        double hits = 0.0, misses = 0.0, shits = 0.0, smisses = 0.0;
+    };
+    SweepRunner runner(opts.jobs);
+    auto results = runner.map(cells.size(), [&](std::size_t i) {
+        auto workload = makeScaled(cells[i].name, opts.scalePercent);
+        SystemConfig config;
+        config.protocol = cells[i].proto;
+        System system(config);
+        CellResult cell;
+        cell.run = system.run(*workload);
+        for (unsigned cu = 0; cu < system.numCus(); ++cu) {
+            std::string prefix = "l1." + std::to_string(cu);
+            cell.hits += system.stats().get(prefix + ".load_hits");
+            cell.misses +=
+                system.stats().get(prefix + ".load_misses");
+            cell.shits += system.stats().get(prefix + ".sync_hits");
+            cell.smisses +=
+                system.stats().get(prefix + ".sync_misses");
+        }
+        return cell;
+    });
+
     std::printf("=== Ablation: traffic per benchmark, by class "
                 "===\n");
     std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-10s %-10s\n",
                 "bench", "config", "Read", "Regist", "WB_WT",
                 "Atomics", "ld hit%", "sync hit%");
-
-    for (const char *name : {"NN", "LAVA", "SPM_G", "UTS"}) {
-        for (const auto &proto :
-             {ProtocolConfig::gd(), ProtocolConfig::gh(),
-              ProtocolConfig::dd(), ProtocolConfig::dh()}) {
-            auto workload = makeScaled(name, opts.scalePercent);
-            SystemConfig config;
-            config.protocol = proto;
-            System system(config);
-            RunResult result = system.run(*workload);
-            if (!result.ok()) {
-                std::fprintf(stderr, "check failed: %s on %s\n",
-                             name, result.config.c_str());
-                return 1;
-            }
-            double hits = 0.0, misses = 0.0, shits = 0.0,
-                   smisses = 0.0;
-            for (unsigned cu = 0; cu < system.numCus(); ++cu) {
-                std::string prefix = "l1." + std::to_string(cu);
-                hits += system.stats().get(prefix + ".load_hits");
-                misses +=
-                    system.stats().get(prefix + ".load_misses");
-                shits += system.stats().get(prefix + ".sync_hits");
-                smisses +=
-                    system.stats().get(prefix + ".sync_misses");
-            }
-            auto pct = [](double a, double b) {
-                return a + b > 0.0 ? 100.0 * a / (a + b) : 0.0;
-            };
-            std::printf(
-                "%-8s %-8s %-12.0f %-12.0f %-12.0f %-12.0f "
-                "%-10.1f %-10.1f\n",
-                name, result.config.c_str(), result.traffic[0],
-                result.traffic[1], result.traffic[2],
-                result.traffic[3], pct(hits, misses),
-                pct(shits, smisses));
+    SweepRecord record;
+    record.harness = "ablation_granularity";
+    record.jobs = opts.jobs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellResult &cell = results[i];
+        const RunResult &result = cell.run;
+        if (!result.ok()) {
+            std::fprintf(stderr, "check failed: %s on %s\n",
+                         cells[i].name, result.config.c_str());
+            return 1;
         }
+        record.add(result, opts.scalePercent);
+        auto pct = [](double a, double b) {
+            return a + b > 0.0 ? 100.0 * a / (a + b) : 0.0;
+        };
+        std::printf("%-8s %-8s %-12.0f %-12.0f %-12.0f %-12.0f "
+                    "%-10.1f %-10.1f\n",
+                    cells[i].name, result.config.c_str(),
+                    result.traffic[0], result.traffic[1],
+                    result.traffic[2], result.traffic[3],
+                    pct(cell.hits, cell.misses),
+                    pct(cell.shits, cell.smisses));
+    }
+    if (!opts.jsonPath.empty()) {
+        record.wallMillis = timer.millis();
+        record.writeJson(opts.jsonPath);
     }
     return 0;
 }

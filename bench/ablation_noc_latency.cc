@@ -19,37 +19,60 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
+
+    struct Cell
+    {
+        const char *name;
+        Cycles hop;
+        ProtocolConfig proto;
+    };
+    std::vector<Cell> cells;
+    for (const char *name : {"SPM_G", "FAM_G"}) {
+        for (Cycles hop : {1u, 3u, 6u, 12u}) {
+            for (const auto &proto :
+                 {ProtocolConfig::gd(), ProtocolConfig::dd()})
+                cells.push_back(Cell{name, hop, proto});
+        }
+    }
+
+    SweepRunner runner(opts.jobs);
+    auto results = runner.map(cells.size(), [&](std::size_t i) {
+        auto workload = makeScaled(
+            cells[i].name, std::min(opts.scalePercent, 50u));
+        SystemConfig config;
+        config.protocol = cells[i].proto;
+        config.mesh.hopLatency = cells[i].hop;
+        System system(config);
+        return system.run(*workload);
+    });
 
     std::printf("=== Ablation: mesh hop latency (SPM_G and FAM_G) "
                 "===\n");
     std::printf("%-8s %-10s %-8s %-12s %-14s\n", "bench", "hop(cyc)",
                 "config", "cycles", "atomic flits");
-
-    for (const char *name : {"SPM_G", "FAM_G"}) {
-        for (Cycles hop : {1u, 3u, 6u, 12u}) {
-            for (const auto &proto :
-                 {ProtocolConfig::gd(), ProtocolConfig::dd()}) {
-                auto workload = makeScaled(
-                    name, std::min(opts.scalePercent, 50u));
-                SystemConfig config;
-                config.protocol = proto;
-                config.mesh.hopLatency = hop;
-                System system(config);
-                RunResult result = system.run(*workload);
-                if (!result.ok()) {
-                    std::fprintf(stderr, "check failed: %s\n", name);
-                    return 1;
-                }
-                std::printf(
-                    "%-8s %-10llu %-8s %-12llu %-14.0f\n", name,
-                    static_cast<unsigned long long>(hop),
+    SweepRecord record;
+    record.harness = "ablation_noc_latency";
+    record.jobs = opts.jobs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RunResult &result = results[i];
+        if (!result.ok()) {
+            std::fprintf(stderr, "check failed: %s\n", cells[i].name);
+            return 1;
+        }
+        record.add(result, std::min(opts.scalePercent, 50u));
+        std::printf("%-8s %-10llu %-8s %-12llu %-14.0f\n",
+                    cells[i].name,
+                    static_cast<unsigned long long>(cells[i].hop),
                     result.config.c_str(),
                     static_cast<unsigned long long>(result.cycles),
                     result.traffic[static_cast<std::size_t>(
                         TrafficClass::Atomic)]);
-            }
-        }
+    }
+    if (!opts.jsonPath.empty()) {
+        record.wallMillis = timer.millis();
+        record.writeJson(opts.jsonPath);
     }
     std::printf("\nReading the table: GD's spin herd pays the herd's "
                 "round trips to one L2 bank,\nwhile DD's handoffs "

@@ -18,39 +18,66 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
+
+    struct Cell
+    {
+        std::size_t entries;
+        ProtocolConfig proto;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t entries : {32u, 64u, 128u, 256u, 512u}) {
+        for (const auto &proto :
+             {ProtocolConfig::gd(), ProtocolConfig::dd()})
+            cells.push_back(Cell{entries, proto});
+    }
+
+    struct CellResult
+    {
+        RunResult run;
+        double drains = 0.0;
+    };
+    SweepRunner runner(opts.jobs);
+    auto results = runner.map(cells.size(), [&](std::size_t i) {
+        auto workload = makeScaled("LAVA", opts.scalePercent);
+        SystemConfig config;
+        config.protocol = cells[i].proto;
+        config.geometry.storeBufferEntries = cells[i].entries;
+        System system(config);
+        CellResult cell;
+        cell.run = system.run(*workload);
+        for (unsigned cu = 0; cu < system.numCus(); ++cu) {
+            cell.drains += system.stats().get(
+                "l1." + std::to_string(cu) + ".sb_overflow_drains");
+        }
+        return cell;
+    });
 
     std::printf("=== Ablation: store buffer size (workload LAVA) "
                 "===\n");
     std::printf("%-10s %-12s %-14s %-14s %-14s\n", "entries",
                 "config", "cycles", "WB/WT flits", "overflow drains");
-    for (std::size_t entries : {32u, 64u, 128u, 256u, 512u}) {
-        for (const auto &proto :
-             {ProtocolConfig::gd(), ProtocolConfig::dd()}) {
-            auto workload = makeScaled("LAVA", opts.scalePercent);
-            SystemConfig config;
-            config.protocol = proto;
-            config.geometry.storeBufferEntries = entries;
-            System system(config);
-            RunResult result = system.run(*workload);
-            if (!result.ok()) {
-                std::fprintf(stderr, "check failed\n");
-                return 1;
-            }
-            double drains = 0.0;
-            for (unsigned cu = 0; cu < system.numCus(); ++cu) {
-                drains += system.stats().get(
-                    "l1." + std::to_string(cu) +
-                    ".sb_overflow_drains");
-            }
-            std::printf("%-10zu %-12s %-14llu %-14.0f %-14.0f\n",
-                        entries, result.config.c_str(),
-                        static_cast<unsigned long long>(
-                            result.cycles),
-                        result.traffic[static_cast<std::size_t>(
-                            TrafficClass::WriteBack)],
-                        drains);
+    SweepRecord record;
+    record.harness = "ablation_store_buffer";
+    record.jobs = opts.jobs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RunResult &result = results[i].run;
+        if (!result.ok()) {
+            std::fprintf(stderr, "check failed\n");
+            return 1;
         }
+        record.add(result, opts.scalePercent);
+        std::printf("%-10zu %-12s %-14llu %-14.0f %-14.0f\n",
+                    cells[i].entries, result.config.c_str(),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.traffic[static_cast<std::size_t>(
+                        TrafficClass::WriteBack)],
+                    results[i].drains);
+    }
+    if (!opts.jsonPath.empty()) {
+        record.wallMillis = timer.millis();
+        record.writeJson(opts.jsonPath);
     }
     return 0;
 }

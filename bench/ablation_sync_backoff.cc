@@ -19,41 +19,68 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
+
+    struct Cell
+    {
+        const char *name;
+        ProtocolConfig proto;
+    };
+    std::vector<Cell> cells;
+    for (const char *name :
+         {"FAM_G", "SLM_G", "SPM_G", "SPMBO_G", "UTS"}) {
+        for (const auto &proto :
+             {ProtocolConfig::gd(), ProtocolConfig::dd(),
+              ProtocolConfig::ddbo()})
+            cells.push_back(Cell{name, proto});
+    }
+
+    struct CellResult
+    {
+        RunResult run;
+        double syncMisses = 0.0;
+    };
+    SweepRunner runner(opts.jobs);
+    auto results = runner.map(cells.size(), [&](std::size_t i) {
+        auto workload = makeScaled(cells[i].name, opts.scalePercent);
+        SystemConfig config;
+        config.protocol = cells[i].proto;
+        System system(config);
+        CellResult cell;
+        cell.run = system.run(*workload);
+        for (unsigned cu = 0; cu < system.numCus(); ++cu) {
+            cell.syncMisses += system.stats().get(
+                "l1." + std::to_string(cu) + ".sync_misses");
+        }
+        return cell;
+    });
 
     std::printf("=== Ablation: DeNovoSync read backoff (DD vs DD+BO) "
                 "===\n");
     std::printf("%-10s %-8s %-12s %-14s %-14s\n", "bench", "config",
                 "cycles", "atomic flits", "sync misses");
-
-    for (const char *name :
-         {"FAM_G", "SLM_G", "SPM_G", "SPMBO_G", "UTS"}) {
-        for (const auto &proto :
-             {ProtocolConfig::gd(), ProtocolConfig::dd(),
-              ProtocolConfig::ddbo()}) {
-            auto workload = makeScaled(name, opts.scalePercent);
-            SystemConfig config;
-            config.protocol = proto;
-            System system(config);
-            RunResult result = system.run(*workload);
-            if (!result.ok()) {
-                std::fprintf(stderr, "check failed: %s on %s\n",
-                             name, result.config.c_str());
-                return 1;
-            }
-            double sync_misses = 0.0;
-            for (unsigned cu = 0; cu < system.numCus(); ++cu) {
-                sync_misses += system.stats().get(
-                    "l1." + std::to_string(cu) + ".sync_misses");
-            }
-            std::printf("%-10s %-8s %-12llu %-14.0f %-14.0f\n", name,
-                        result.config.c_str(),
-                        static_cast<unsigned long long>(
-                            result.cycles),
-                        result.traffic[static_cast<std::size_t>(
-                            TrafficClass::Atomic)],
-                        sync_misses);
+    SweepRecord record;
+    record.harness = "ablation_sync_backoff";
+    record.jobs = opts.jobs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RunResult &result = results[i].run;
+        if (!result.ok()) {
+            std::fprintf(stderr, "check failed: %s on %s\n",
+                         cells[i].name, result.config.c_str());
+            return 1;
         }
+        record.add(result, opts.scalePercent);
+        std::printf("%-10s %-8s %-12llu %-14.0f %-14.0f\n",
+                    cells[i].name, result.config.c_str(),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.traffic[static_cast<std::size_t>(
+                        TrafficClass::Atomic)],
+                    results[i].syncMisses);
+    }
+    if (!opts.jsonPath.empty()) {
+        record.wallMillis = timer.millis();
+        record.writeJson(opts.jsonPath);
     }
     return 0;
 }

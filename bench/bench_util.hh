@@ -1,19 +1,31 @@
 /**
  * @file
  * Shared helpers for the figure-regeneration harnesses.
+ *
+ * All harnesses accept a common option set (--scale, --jobs, --json,
+ * --no-breakdowns) and run their (workload x config) matrices through
+ * the SweepRunner, so `--jobs=N` parallelizes any harness across host
+ * threads while keeping the printed tables bitwise identical to a
+ * serial run. `--json=PATH` additionally emits the full result matrix
+ * as a machine-readable BENCH_*.json record.
  */
 
 #ifndef BENCH_BENCH_UTIL_HH
 #define BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/report.hh"
 #include "core/system.hh"
+#include "runner/bench_json.hh"
+#include "runner/sweep_runner.hh"
 #include "workloads/registry.hh"
 
 namespace nosync::bench
@@ -24,63 +36,189 @@ struct Options
 {
     unsigned scalePercent = 100;
     bool breakdowns = true;
+    /** Worker threads for sweeps; 0 = one per hardware thread. */
+    unsigned jobs = 1;
+    /** Emit the result matrix as JSON to this path ("" = don't). */
+    std::string jsonPath;
 
-    static Options
-    parse(int argc, char **argv)
-    {
-        Options opts;
-        for (int i = 1; i < argc; ++i) {
-            if (std::strncmp(argv[i], "--scale=", 8) == 0)
-                opts.scalePercent = static_cast<unsigned>(
-                    std::atoi(argv[i] + 8));
-            else if (std::strcmp(argv[i], "--no-breakdowns") == 0)
-                opts.breakdowns = false;
-            else
-                std::cerr << "ignoring unknown option " << argv[i]
-                          << "\n";
-        }
-        return opts;
-    }
+    /**
+     * Harness-specific option hook: return true if @p arg was
+     * consumed. Unknown options are an error (exit 2) — a typo'd
+     * sweep flag must not silently run the wrong experiment.
+     */
+    using ExtraHandler = std::function<bool(const char *)>;
+
+    static Options parse(int argc, char **argv,
+                         const ExtraHandler &extra,
+                         const char *extra_usage, Options defaults);
+    static Options parse(int argc, char **argv,
+                         const ExtraHandler &extra = {},
+                         const char *extra_usage = "");
 };
 
-/** Run one workload on one configuration. */
+inline Options
+Options::parse(int argc, char **argv, const ExtraHandler &extra,
+               const char *extra_usage)
+{
+    return parse(argc, argv, extra, extra_usage, Options());
+}
+
+inline Options
+Options::parse(int argc, char **argv, const ExtraHandler &extra,
+               const char *extra_usage, Options defaults)
+{
+    Options opts = defaults;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+            opts.scalePercent =
+                static_cast<unsigned>(std::atoi(argv[i] + 8));
+        } else if (std::strcmp(argv[i], "--no-breakdowns") == 0) {
+            opts.breakdowns = false;
+        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            opts.jobs = SweepRunner::resolveJobs(
+                static_cast<unsigned>(std::atoi(argv[i] + 7)));
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            opts.jsonPath = argv[i] + 7;
+        } else if (!extra || !extra(argv[i])) {
+            std::cerr << "error: unknown option " << argv[i]
+                      << "\nusage: " << argv[0]
+                      << " [--scale=N] [--jobs=N] [--json=PATH]"
+                         " [--no-breakdowns]"
+                      << extra_usage << "\n";
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Wall-clock stopwatch for the harness-level JSON header. */
+class WallTimer
+{
+  public:
+    double
+    millis() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - _start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _start =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * Run one simulation cell: @p workload_name on @p proto, with an
+ * optional SystemConfig tweak (ablation sweeps). Thread-safe: builds
+ * a fresh System per call.
+ */
 inline RunResult
-runOne(const std::string &workload_name, const ProtocolConfig &proto,
-       const Options &opts)
+runCell(const std::string &workload_name, const ProtocolConfig &proto,
+        const Options &opts,
+        const std::function<void(SystemConfig &)> &tweak = {})
 {
     auto workload = makeScaled(workload_name, opts.scalePercent);
     SystemConfig config;
     config.protocol = proto;
+    if (tweak)
+        tweak(config);
     System system(config);
-    RunResult result = system.run(*workload);
-    if (!result.ok()) {
-        std::cerr << "CHECK FAILED: " << workload_name << " on "
+    return system.run(*workload);
+}
+
+/** Print diagnostics and exit(1) if any run failed its checks. */
+inline void
+requireAllOk(const std::vector<RunResult> &results)
+{
+    bool failed = false;
+    for (const auto &result : results) {
+        if (result.ok())
+            continue;
+        failed = true;
+        std::cerr << "CHECK FAILED: " << result.workload << " on "
                   << result.config << "\n";
         for (const auto &failure : result.checkFailures)
             std::cerr << "  " << failure << "\n";
-        std::exit(1);
+        if (result.hang)
+            std::cerr << renderHangReport(*result.hang);
     }
-    return result;
+    if (failed)
+        std::exit(1);
 }
 
-/** Run a workload group across configurations. */
+/**
+ * Run a workload group across configurations, fanned out over
+ * opts.jobs threads. Cells are aggregated in (workload, config)
+ * order, so every downstream table is bitwise identical regardless
+ * of the thread count.
+ */
 inline std::vector<WorkloadResults>
 runMatrix(const std::vector<std::string> &workloads,
           const std::vector<ProtocolConfig> &configs,
           const Options &opts)
 {
+    struct CellSpec
+    {
+        const std::string *workload;
+        const ProtocolConfig *proto;
+    };
+    std::vector<CellSpec> cells;
+    cells.reserve(workloads.size() * configs.size());
+    for (const auto &name : workloads) {
+        for (const auto &proto : configs)
+            cells.push_back(CellSpec{&name, &proto});
+    }
+
+    SweepRunner runner(opts.jobs);
+    std::vector<RunResult> flat =
+        runner.map(cells.size(), [&](std::size_t i) {
+            SweepRunner::log("  running " + *cells[i].workload +
+                             " on " + cells[i].proto->shortName() +
+                             "...");
+            return runCell(*cells[i].workload, *cells[i].proto, opts);
+        });
+    requireAllOk(flat);
+
     std::vector<WorkloadResults> results;
+    results.reserve(workloads.size());
+    std::size_t i = 0;
     for (const auto &name : workloads) {
         WorkloadResults wr;
         wr.workload = name;
-        for (const auto &proto : configs) {
-            std::cerr << "  running " << name << " on "
-                      << proto.shortName() << "...\n";
-            wr.runs.push_back(runOne(name, proto, opts));
-        }
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            wr.runs.push_back(std::move(flat[i++]));
         results.push_back(std::move(wr));
     }
     return results;
+}
+
+/**
+ * Emit the harness's result matrix as a BENCH_*.json record when
+ * --json=PATH was given. Call once, at the end, with every matrix
+ * the harness ran.
+ */
+inline void
+maybeWriteJson(const Options &opts, const std::string &harness,
+               const std::vector<WorkloadResults> &results,
+               const WallTimer &timer)
+{
+    if (opts.jsonPath.empty())
+        return;
+    SweepRecord record;
+    record.harness = harness;
+    record.jobs = opts.jobs;
+    for (const auto &wr : results) {
+        for (const auto &run : wr.runs)
+            record.add(run, opts.scalePercent);
+    }
+    record.wallMillis = timer.millis();
+    if (!record.writeJson(opts.jsonPath)) {
+        std::cerr << "error: cannot write " << opts.jsonPath << "\n";
+        std::exit(1);
+    }
+    std::cerr << "wrote " << opts.jsonPath << " (" << record.cells.size()
+              << " cells)\n";
 }
 
 /** Emit the three figure parts in the paper's format. */

@@ -17,59 +17,41 @@
  * Any violation prints full diagnostics (including the structured
  * hang report when the run hung) and exits non-zero.
  *
- * Usage: chaos_sweep [--scale=N] [--seeds=N] [--check-period=N]
+ * The parallel unit is one (workload, config) cell: the fault-free
+ * golden execution is computed exactly once per cell and shared by
+ * every fault seed's memory compare, and each cell runs on its own
+ * thread under --jobs=N.
+ *
+ * Usage: chaos_sweep [--scale=N] [--jobs=N] [--json=PATH]
+ *                    [--seeds=N] [--check-period=N]
  */
 
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "core/protocol_checker.hh"
 #include "core/report.hh"
 #include "core/system.hh"
 #include "workloads/registry.hh"
 
 using namespace nosync;
+using namespace nosync::bench;
 
 namespace
 {
 
-struct ChaosOptions
-{
-    unsigned scalePercent = 30;
-    unsigned numSeeds = 5;
-    Tick checkPeriod = 2000;
-};
-
-ChaosOptions
-parseOptions(int argc, char **argv)
-{
-    ChaosOptions opts;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--scale=", 8) == 0)
-            opts.scalePercent =
-                static_cast<unsigned>(std::atoi(argv[i] + 8));
-        else if (std::strncmp(argv[i], "--seeds=", 8) == 0)
-            opts.numSeeds =
-                static_cast<unsigned>(std::atoi(argv[i] + 8));
-        else if (std::strncmp(argv[i], "--check-period=", 15) == 0)
-            opts.checkPeriod =
-                static_cast<Tick>(std::atoll(argv[i] + 15));
-        else
-            std::cerr << "ignoring unknown option " << argv[i] << "\n";
-    }
-    return opts;
-}
-
 SystemConfig
-makeConfig(const ProtocolConfig &proto, const ChaosOptions &opts,
+makeConfig(const ProtocolConfig &proto, Tick check_period,
            std::uint64_t fault_seed)
 {
     SystemConfig config;
     config.protocol = proto;
-    config.checkPeriod = opts.checkPeriod;
+    config.checkPeriod = check_period;
     if (fault_seed != 0) {
         config.faults.enabled = true;
         config.faults.seed = fault_seed;
@@ -77,35 +59,46 @@ makeConfig(const ProtocolConfig &proto, const ChaosOptions &opts,
     return config;
 }
 
-/** One simulation; exits the process on any check failure. */
-std::unique_ptr<System>
-runOrDie(const std::string &workload_name, const ProtocolConfig &proto,
-         const ChaosOptions &opts, std::uint64_t fault_seed,
-         RunResult &result_out)
+/** Everything one (workload, config) cell produced. */
+struct CellOutcome
 {
-    auto workload = makeScaled(workload_name, opts.scalePercent);
-    auto system =
-        std::make_unique<System>(makeConfig(proto, opts, fault_seed));
-    result_out = system->run(*workload);
-    if (!result_out.ok()) {
-        std::cerr << "CHAOS FAILURE: " << workload_name << " on "
-                  << proto.shortName() << " fault-seed=" << fault_seed
-                  << "\n";
-        for (const auto &failure : result_out.checkFailures)
-            std::cerr << "  " << failure << "\n";
-        if (result_out.hang)
-            std::cerr << renderHangReport(*result_out.hang);
-        std::exit(1);
-    }
-    return system;
-}
+    unsigned runs = 0;
+    std::size_t faultsInjected = 0;
+    /** Failure diagnostics; empty = cell clean. */
+    std::string failure;
+    /** Per-run results (golden first) for the JSON record. */
+    std::vector<SweepCell> cells;
+};
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    ChaosOptions opts = parseOptions(argc, argv);
+    WallTimer timer;
+    unsigned num_seeds = 5;
+    Tick check_period = 2000;
+    Options opts = Options::parse(
+        argc, argv,
+        [&](const char *arg) {
+            if (std::strncmp(arg, "--seeds=", 8) == 0) {
+                num_seeds =
+                    static_cast<unsigned>(std::atoi(arg + 8));
+                return true;
+            }
+            if (std::strncmp(arg, "--check-period=", 15) == 0) {
+                check_period =
+                    static_cast<Tick>(std::atoll(arg + 15));
+                return true;
+            }
+            return false;
+        },
+        " [--seeds=N] [--check-period=N]",
+        [] {
+            Options defaults;
+            defaults.scalePercent = 30; // chaos default: fast sweeps
+            return defaults;
+        }());
 
     const std::vector<std::string> workloads = {
         "FAM_G",  // decoupled fetch-add mutex, global scope
@@ -118,87 +111,157 @@ main(int argc, char **argv)
         ProtocolConfig::dh(),
     };
 
-    unsigned runs = 0;
-    std::size_t faults_injected = 0;
-
+    struct CellSpec
+    {
+        const std::string *workload;
+        const ProtocolConfig *proto;
+    };
+    std::vector<CellSpec> specs;
     for (const auto &name : workloads) {
+        for (const auto &proto : configs)
+            specs.push_back(CellSpec{&name, &proto});
+    }
+
+    // One cell = golden + all seeds + replay for one
+    // (workload, config); diagnostics are collected, not printed, so
+    // failures emerge in deterministic cell order after aggregation.
+    auto run_cell = [&](const CellSpec &spec) {
+        const std::string &name = *spec.workload;
+        const ProtocolConfig &proto = *spec.proto;
+        CellOutcome out;
+        std::ostringstream err;
+
+        auto run_one = [&](std::uint64_t fault_seed,
+                           RunResult &result_out) {
+            auto workload = makeScaled(name, opts.scalePercent);
+            auto system = std::make_unique<System>(
+                makeConfig(proto, check_period, fault_seed));
+            result_out = system->run(*workload);
+            ++out.runs;
+            out.cells.push_back(SweepCell{});
+            out.cells.back().scalePercent = opts.scalePercent;
+            out.cells.back().faultSeed = fault_seed;
+            out.cells.back().result = result_out;
+            if (!result_out.ok()) {
+                err << "CHAOS FAILURE: " << name << " on "
+                    << proto.shortName()
+                    << " fault-seed=" << fault_seed << "\n";
+                for (const auto &failure : result_out.checkFailures)
+                    err << "  " << failure << "\n";
+                if (result_out.hang)
+                    err << renderHangReport(*result_out.hang);
+                system.reset();
+            }
+            return system;
+        };
+
         bool deterministic =
-            makeScaled(name, opts.scalePercent)->deterministicOutput();
+            makeScaled(name, opts.scalePercent)
+                ->deterministicOutput();
 
-        for (const auto &proto : configs) {
-            // Golden: fault-free reference execution of the same
-            // (workload, config). Kept alive for the memory compare.
-            RunResult golden_result;
-            auto golden =
-                runOrDie(name, proto, opts, 0, golden_result);
-            ++runs;
+        // Golden: fault-free reference execution, computed once per
+        // cell and reused by every seed's memory compare.
+        RunResult golden_result;
+        auto golden = run_one(0, golden_result);
+        if (!golden) {
+            out.failure = err.str();
+            return out;
+        }
 
-            for (unsigned s = 1; s <= opts.numSeeds; ++s, ++runs) {
-                std::uint64_t seed = 0xc0ffee + 977 * s;
-                std::cerr << "  " << name << " on "
-                          << proto.shortName() << " fault-seed "
-                          << seed << "...\n";
-                RunResult result;
-                auto system =
-                    runOrDie(name, proto, opts, seed, result);
-                if (const FaultInjector *f = system->faults()) {
-                    faults_injected += f->jittered() + f->delayed() +
-                                       f->duplicated();
+        for (unsigned s = 1; s <= num_seeds; ++s) {
+            std::uint64_t seed = 0xc0ffee + 977 * s;
+            SweepRunner::log("  " + name + " on " +
+                             proto.shortName() + " fault-seed " +
+                             std::to_string(seed) + "...");
+            RunResult result;
+            auto system = run_one(seed, result);
+            if (!system) {
+                out.failure = err.str();
+                return out;
+            }
+            if (const FaultInjector *f = system->faults()) {
+                out.faultsInjected += f->jittered() + f->delayed() +
+                                      f->duplicated();
+            }
+
+            if (deterministic) {
+                auto diffs =
+                    ProtocolChecker::compareMemory(*system, *golden);
+                if (!diffs.empty()) {
+                    err << "CHAOS FAILURE: " << name << " on "
+                        << proto.shortName() << " fault-seed=" << seed
+                        << " diverged from the golden run:\n";
+                    for (const auto &d : diffs)
+                        err << "  " << d << "\n";
+                    out.failure = err.str();
+                    return out;
                 }
+            }
 
-                if (deterministic) {
-                    auto diffs = ProtocolChecker::compareMemory(
-                        *system, *golden);
-                    if (!diffs.empty()) {
-                        std::cerr << "CHAOS FAILURE: " << name
-                                  << " on " << proto.shortName()
-                                  << " fault-seed=" << seed
-                                  << " diverged from the golden "
-                                     "run:\n";
-                        for (const auto &d : diffs)
-                            std::cerr << "  " << d << "\n";
-                        return 1;
-                    }
+            if (s == 1) {
+                // Reproducibility: the same seed must replay to the
+                // exact same cycle count, energy, and traffic.
+                RunResult replay;
+                auto replay_sys = run_one(seed, replay);
+                if (!replay_sys) {
+                    out.failure = err.str();
+                    return out;
                 }
-
-                if (s == 1) {
-                    // Reproducibility: the same seed must replay to
-                    // the exact same cycle count, energy, and
-                    // traffic.
-                    RunResult replay;
-                    auto replay_sys =
-                        runOrDie(name, proto, opts, seed, replay);
-                    ++runs;
-                    if (replay.cycles != result.cycles ||
-                        replay.energyTotal != result.energyTotal ||
-                        replay.trafficTotal != result.trafficTotal) {
-                        std::cerr
-                            << "CHAOS FAILURE: " << name << " on "
-                            << proto.shortName() << " fault-seed="
-                            << seed << " is not reproducible: "
-                            << result.cycles << " vs "
-                            << replay.cycles << " cycles, "
-                            << result.trafficTotal << " vs "
-                            << replay.trafficTotal << " flits\n";
-                        return 1;
-                    }
-                    auto diffs = ProtocolChecker::compareMemory(
-                        *replay_sys, *system);
-                    if (!diffs.empty()) {
-                        std::cerr << "CHAOS FAILURE: " << name
-                                  << " on " << proto.shortName()
-                                  << " fault-seed=" << seed
-                                  << " replay memory diverged\n";
-                        return 1;
-                    }
+                if (replay.cycles != result.cycles ||
+                    replay.energyTotal != result.energyTotal ||
+                    replay.trafficTotal != result.trafficTotal) {
+                    err << "CHAOS FAILURE: " << name << " on "
+                        << proto.shortName() << " fault-seed=" << seed
+                        << " is not reproducible: " << result.cycles
+                        << " vs " << replay.cycles << " cycles, "
+                        << result.trafficTotal << " vs "
+                        << replay.trafficTotal << " flits\n";
+                    out.failure = err.str();
+                    return out;
+                }
+                auto diffs = ProtocolChecker::compareMemory(
+                    *replay_sys, *system);
+                if (!diffs.empty()) {
+                    err << "CHAOS FAILURE: " << name << " on "
+                        << proto.shortName() << " fault-seed=" << seed
+                        << " replay memory diverged\n";
+                    out.failure = err.str();
+                    return out;
                 }
             }
         }
+        return out;
+    };
+
+    SweepRunner runner(opts.jobs);
+    auto outcomes = runner.map(
+        specs.size(),
+        [&](std::size_t i) { return run_cell(specs[i]); });
+
+    unsigned runs = 0;
+    std::size_t faults_injected = 0;
+    SweepRecord record;
+    record.harness = "chaos_sweep";
+    record.jobs = opts.jobs;
+    for (const auto &out : outcomes) {
+        runs += out.runs;
+        faults_injected += out.faultsInjected;
+        for (const auto &cell : out.cells)
+            record.cells.push_back(cell);
+        if (!out.failure.empty()) {
+            std::cerr << out.failure;
+            return 1;
+        }
+    }
+
+    if (!opts.jsonPath.empty()) {
+        record.wallMillis = timer.millis();
+        record.writeJson(opts.jsonPath);
     }
 
     std::cout << "chaos sweep clean: " << runs << " runs ("
               << workloads.size() << " workloads x " << configs.size()
-              << " configs x " << opts.numSeeds
+              << " configs x " << num_seeds
               << " fault seeds + goldens/replays), "
               << faults_injected << " faults injected, zero invariant "
               << "violations, zero hangs\n";

@@ -15,6 +15,7 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
     std::vector<std::string> names;
     for (const auto *desc : workloadsInGroup("no-sync"))
@@ -26,5 +27,6 @@ main(int argc, char **argv)
     std::cout << "=== Figure 2: no-synchronization applications, "
                  "G* vs D* (normalized to D*) ===\n\n";
     emitFigure(results, 1, "Fig2", opts);
+    maybeWriteJson(opts, "fig2_apps", results, timer);
     return 0;
 }

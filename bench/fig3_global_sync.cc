@@ -15,6 +15,7 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
     std::vector<std::string> names;
     for (const auto *desc : workloadsInGroup("global-sync"))
@@ -37,5 +38,6 @@ main(int argc, char **argv)
                 (1.0 - traffic) * 100.0);
     std::printf("(paper: 28%% lower execution time, 51%% lower "
                 "energy, 81%% lower traffic)\n");
+    maybeWriteJson(opts, "fig3_global_sync", results, timer);
     return 0;
 }

@@ -12,6 +12,7 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
     std::vector<std::string> names;
     for (const auto *desc : workloadsInGroup("local-sync"))
@@ -48,5 +49,6 @@ main(int argc, char **argv)
                 "lower energy (paper: DH best overall)\n",
                 (1.0 - avg(0, 4, 1)) * 100.0,
                 (1.0 - avg(1, 4, 1)) * 100.0);
+    maybeWriteJson(opts, "fig4_local_sync", results, timer);
     return 0;
 }

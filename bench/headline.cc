@@ -13,6 +13,7 @@ using namespace nosync::bench;
 int
 main(int argc, char **argv)
 {
+    WallTimer timer;
     Options opts = Options::parse(argc, argv);
     opts.breakdowns = false;
 
@@ -21,6 +22,11 @@ main(int argc, char **argv)
         for (const auto *desc : workloadsInGroup(group))
             names.push_back(desc->name);
         return names;
+    };
+
+    std::vector<WorkloadResults> all;
+    auto keep = [&](const std::vector<WorkloadResults> &res) {
+        all.insert(all.end(), res.begin(), res.end());
     };
 
     std::cout << "=== Headline claims: paper vs this reproduction "
@@ -32,6 +38,7 @@ main(int argc, char **argv)
                              {ProtocolConfig::gd(),
                               ProtocolConfig::dd()},
                              opts);
+        keep(res);
         double time = averageNormalized(res, 0, 1, 0);
         double traffic = averageNormalized(res, 2, 1, 0);
         std::printf("[no-sync apps]   paper: D* within ~0.5%% of G* "
@@ -46,6 +53,7 @@ main(int argc, char **argv)
                              {ProtocolConfig::gd(),
                               ProtocolConfig::dd()},
                              opts);
+        keep(res);
         std::printf("[global sync]    paper: D* -28%% time, -51%% "
                     "energy, -81%% traffic vs G* | measured: "
                     "%+.0f%% time, %+.0f%% energy, %+.0f%% traffic\n",
@@ -63,6 +71,7 @@ main(int argc, char **argv)
                               ProtocolConfig::ddro(),
                               ProtocolConfig::dh()},
                              opts);
+        keep(res);
         std::printf("[local sync]     paper: GH -46%% time vs GD | "
                     "measured: %+.0f%%\n",
                     (averageNormalized(res, 0, 1, 0) - 1.0) * 100.0);
@@ -79,5 +88,6 @@ main(int argc, char **argv)
                     (averageNormalized(res, 0, 4, 2) - 1.0) * 100.0);
     }
 
+    maybeWriteJson(opts, "headline", all, timer);
     return 0;
 }

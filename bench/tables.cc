@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.hh"
 #include "core/features.hh"
 #include "core/system_config.hh"
 #include "workloads/registry.hh"
@@ -55,8 +56,12 @@ printFeatureHeader()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No simulations here; parse only so a typo'd option fails
+    // loudly instead of silently printing the default tables.
+    bench::Options::parse(argc, argv);
+
     std::printf("=== Table 1: classification of coherence protocols "
                 "===\n");
     std::printf("%-10s %-10s %-14s %-14s %-8s\n", "Class", "Example",

@@ -1,7 +1,7 @@
 #include "coherence/denovo_l2.hh"
 
+#include <algorithm>
 #include <cstdlib>
-#include <map>
 
 #include "coherence/denovo_l1.hh"
 
@@ -184,16 +184,20 @@ DenovoL2Bank::startRecall(CacheLine &victim)
     RecallState &state = _recalls[victim.addr];
 
     // Group registered words by owner and pull them back.
-    std::map<NodeId, WordMask> by_owner;
+    std::fill(_fwdScratch.begin(), _fwdScratch.end(), WordMask{0});
     for (unsigned w = 0; w < kWordsPerLine; ++w) {
         if (victim.wstate[w] == WordState::Registered) {
-            by_owner[victim.owner[w]] |=
+            _fwdScratch[static_cast<std::size_t>(victim.owner[w])] |=
                 static_cast<WordMask>(1u << w);
             state.outstanding |= static_cast<WordMask>(1u << w);
         }
     }
     Addr line_addr = victim.addr;
-    for (const auto &[owner, mask] : by_owner) {
+    for (NodeId owner = 0;
+         owner < static_cast<NodeId>(_fwdScratch.size()); ++owner) {
+        WordMask mask = _fwdScratch[static_cast<std::size_t>(owner)];
+        if (mask == 0)
+            continue;
         ++_forwards;
         DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
         _mesh.send(_node, owner, kControlFlits, TrafficClass::WriteBack,
@@ -259,17 +263,22 @@ DenovoL2Bank::handleReadReq(Addr line_addr, WordMask mask,
     withLine(line_addr, [this, line_addr, mask, requestor, req_epoch,
                          reply = std::move(reply)](CacheLine &line) {
         WordMask self_mask = 0;
-        std::map<NodeId, WordMask> fwd;
+        bool any_fwd = false;
+        std::fill(_fwdScratch.begin(), _fwdScratch.end(),
+                  WordMask{0});
         for (unsigned w = 0; w < kWordsPerLine; ++w) {
             WordMask bit = static_cast<WordMask>(1u << w);
             if (!(mask & bit))
                 continue;
             if (line.wstate[w] != WordState::Registered)
                 continue;
-            if (line.owner[w] == requestor)
+            if (line.owner[w] == requestor) {
                 self_mask |= bit;
-            else
-                fwd[line.owner[w]] |= bit;
+            } else {
+                _fwdScratch[static_cast<std::size_t>(
+                    line.owner[w])] |= bit;
+                any_fwd = true;
+            }
         }
 
         // The reply carries every word the L2 can serve (sector-style
@@ -281,7 +290,14 @@ DenovoL2Bank::handleReadReq(Addr line_addr, WordMask mask,
                        reply(l2_mask, data, self_mask);
                    });
 
-        for (const auto &[owner, fwd_mask] : fwd) {
+        for (NodeId owner = 0;
+             any_fwd &&
+             owner < static_cast<NodeId>(_fwdScratch.size());
+             ++owner) {
+            WordMask fwd_mask =
+                _fwdScratch[static_cast<std::size_t>(owner)];
+            if (fwd_mask == 0)
+                continue;
             ++_forwards;
             DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
             _mesh.send(_node, owner, kControlFlits, TrafficClass::Read,
@@ -320,7 +336,9 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
     withLine(line_addr, [this, line_addr, mask, is_sync, requestor,
                          reply = std::move(reply)](CacheLine &line) {
         WordMask direct = 0;
-        std::map<NodeId, WordMask> fwd;
+        bool any_fwd = false;
+        std::fill(_fwdScratch.begin(), _fwdScratch.end(),
+                  WordMask{0});
         for (unsigned w = 0; w < kWordsPerLine; ++w) {
             WordMask bit = static_cast<WordMask>(1u << w);
             if (!(mask & bit))
@@ -341,7 +359,9 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
                                      (unsigned long long)line_addr, w,
                                      (int)line.owner[w], requestor);
                     }
-                    fwd[line.owner[w]] |= bit;
+                    _fwdScratch[static_cast<std::size_t>(
+                        line.owner[w])] |= bit;
+                    any_fwd = true;
                     line.owner[w] =
                         static_cast<std::int8_t>(requestor);
                 }
@@ -361,7 +381,14 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
                        reply(direct, data);
                    });
 
-        for (const auto &[owner, fwd_mask] : fwd) {
+        for (NodeId owner = 0;
+             any_fwd &&
+             owner < static_cast<NodeId>(_fwdScratch.size());
+             ++owner) {
+            WordMask fwd_mask =
+                _fwdScratch[static_cast<std::size_t>(owner)];
+            if (fwd_mask == 0)
+                continue;
             ++_forwards;
             DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
             _mesh.send(_node, owner, kControlFlits, cls,

@@ -59,6 +59,7 @@ class DenovoL2Bank : public SimObject
     void setL1s(std::vector<DenovoL1Cache *> l1s)
     {
         _l1s = std::move(l1s);
+        _fwdScratch.assign(_l1s.size(), 0);
     }
 
     NodeId node() const { return _node; }
@@ -137,6 +138,15 @@ class DenovoL2Bank : public SimObject
     CacheArray _array;
     CacheTimings _timings;
     std::vector<DenovoL1Cache *> _l1s;
+
+    /**
+     * Per-owner forwarding masks, indexed by NodeId. A flat array
+     * rebuilt per request: requests group at most kWordsPerLine
+     * owners, so zero-filling and scanning a few dozen entries beats
+     * the node allocations of the std::map it replaces. Iterated in
+     * ascending NodeId order, matching the old map order exactly.
+     */
+    std::vector<WordMask> _fwdScratch;
 
     /** Next tick the pipelined bank accepts an access. */
     Tick _bankFree = 0;

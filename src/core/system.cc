@@ -1,5 +1,7 @@
 #include "core/system.hh"
 
+#include <chrono>
+
 #include "core/protocol_checker.hh"
 
 namespace nosync
@@ -170,6 +172,15 @@ System::run(Workload &workload)
              "build a fresh System for each run");
     _ran = true;
 
+    auto host_start = std::chrono::steady_clock::now();
+    auto stamp_host = [&](RunResult &r) {
+        r.eventsExecuted = _eq.executed();
+        r.hostMillis = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() -
+                           host_start)
+                           .count();
+    };
+
     workload.init(*this);
 
     GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
@@ -219,6 +230,7 @@ System::run(Workload &workload)
         for (auto &v : sweep_violations)
             result.checkFailures.push_back(std::move(v));
         collectMetrics(result);
+        stamp_host(result);
         return result;
     }
 
@@ -236,8 +248,7 @@ System::run(Workload &workload)
         report.faultsEnabled = _config.faults.enabled;
         report.faultSeed = _config.faults.seed;
         report.tbWaits = device.waitStates();
-        for (const auto &msg : _mesh->inFlight())
-            report.meshMessages.push_back(msg.second);
+        report.meshMessages = _mesh->inFlightSnapshot();
         auto keep_busy = [&](ControllerSnapshot snap) {
             if (!snap.quiescent())
                 report.controllers.push_back(std::move(snap));
@@ -261,6 +272,7 @@ System::run(Workload &workload)
         // fires on livelock, where traffic and energy explain what
         // spun); account the flits crossed so far.
         collectMetrics(result);
+        stamp_host(result);
         return result;
     }
 
@@ -275,6 +287,7 @@ System::run(Workload &workload)
         for (auto &v : checker.sweepQuiesced())
             result.checkFailures.push_back(std::move(v));
     }
+    stamp_host(result);
     return result;
 }
 

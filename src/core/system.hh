@@ -57,6 +57,13 @@ struct RunResult
     /** Populated when the run ended without workload completion. */
     std::optional<HangReport> hang;
 
+    // Host-side measurement (not part of the simulated result; used
+    // by the BENCH_*.json perf records) ------------------------------
+    /** Wall-clock spent inside System::run, milliseconds. */
+    double hostMillis = 0.0;
+    /** Simulated events executed by this run. */
+    std::uint64_t eventsExecuted = 0;
+
     bool ok() const { return checkFailures.empty(); }
 };
 

@@ -1,5 +1,6 @@
 #include "noc/mesh.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace nosync
@@ -17,16 +18,14 @@ Mesh::Mesh(EventQueue &eq, stats::StatSet &stats,
 {
     // Each node has up to 4 outgoing links; index = node * 4 + dir.
     _linkFree.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+    buildRouteTable();
 }
 
 unsigned
 Mesh::hops(NodeId src, NodeId dst) const
 {
-    int sx = src % static_cast<int>(_params.width);
-    int sy = src / static_cast<int>(_params.width);
-    int dx = dst % static_cast<int>(_params.width);
-    int dy = dst / static_cast<int>(_params.width);
-    return static_cast<unsigned>(std::abs(sx - dx) + std::abs(sy - dy));
+    return _hopTable[static_cast<std::size_t>(src) * numNodes() +
+                     static_cast<std::size_t>(dst)];
 }
 
 NodeId
@@ -63,25 +62,77 @@ Mesh::linkIndex(NodeId from, NodeId to) const
 }
 
 void
+Mesh::buildRouteTable()
+{
+    std::size_t n = numNodes();
+    _routeOffset.assign(n * n + 1, 0);
+    _hopTable.assign(n * n, 0);
+    _routeLinks.clear();
+    for (NodeId src = 0; src < static_cast<NodeId>(n); ++src) {
+        for (NodeId dst = 0; dst < static_cast<NodeId>(n); ++dst) {
+            std::size_t pair =
+                static_cast<std::size_t>(src) * n +
+                static_cast<std::size_t>(dst);
+            _routeOffset[pair] =
+                static_cast<std::uint32_t>(_routeLinks.size());
+            NodeId at = src;
+            unsigned num_hops = 0;
+            while (at != dst) {
+                NodeId next = nextHop(at, dst);
+                _routeLinks.push_back(static_cast<std::uint16_t>(
+                    linkIndex(at, next)));
+                at = next;
+                ++num_hops;
+            }
+            _hopTable[pair] = static_cast<std::uint8_t>(num_hops);
+        }
+    }
+    _routeOffset[n * n] =
+        static_cast<std::uint32_t>(_routeLinks.size());
+}
+
+void
+Mesh::deliverSlot(std::uint32_t slot)
+{
+    InFlightRecord &rec = _records[slot];
+    // Move the closure out before running it: delivery may send new
+    // messages, growing the slab and recycling this very slot.
+    DeliverFn fn = std::move(rec.deliver);
+    rec.live = false;
+    --_liveMsgs;
+    _freeRecords.push_back(slot);
+    fn();
+}
+
+void
 Mesh::scheduleDelivery(Tick arrives, NodeId src, NodeId dst,
                        TrafficClass cls, unsigned flits,
-                       std::function<void()> deliver, bool duplicate)
+                       DeliverFn deliver, bool duplicate)
 {
-    std::uint64_t id = _nextMsgId++;
-    _inFlight.emplace(id, InFlightMsg{src, dst, cls, flits, curTick(),
-                                      arrives, duplicate});
-    eventQueue().schedule(
-        arrives,
-        [this, id, d = std::move(deliver)] {
-            _inFlight.erase(id);
-            d();
-        },
-        EventPriority::NetworkDelivery);
+    std::uint32_t slot;
+    if (_freeRecords.empty()) {
+        slot = static_cast<std::uint32_t>(_records.size());
+        _records.emplace_back();
+    } else {
+        slot = _freeRecords.back();
+        _freeRecords.pop_back();
+    }
+    InFlightRecord &rec = _records[slot];
+    rec.id = _nextMsgId++;
+    rec.msg = InFlightMsg{src,     dst,     cls,      flits,
+                          curTick(), arrives, duplicate};
+    rec.deliver = std::move(deliver);
+    rec.live = true;
+    ++_liveMsgs;
+
+    eventQueue().schedule(arrives,
+                          [this, slot] { deliverSlot(slot); },
+                          EventPriority::NetworkDelivery);
 }
 
 void
 Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
-           std::function<void()> deliver, bool idempotent)
+           DeliverFn deliver, bool idempotent)
 {
     panic_if(src < 0 || dst < 0 ||
                  static_cast<unsigned>(src) >= numNodes() ||
@@ -96,21 +147,21 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
         // Local slice access: no link crossings, small fixed delay.
         t = curTick() + _params.localLatency;
     } else {
-        num_hops = hops(src, dst);
+        std::size_t pair = static_cast<std::size_t>(src) * numNodes() +
+                           static_cast<std::size_t>(dst);
+        num_hops = _hopTable[pair];
         _flitCrossings.add(cls_idx,
                            static_cast<double>(flits) * num_hops);
 
-        // Walk the XY route accumulating serialization and queueing
-        // delay on every link crossed.
+        // Walk the precomputed XY route accumulating serialization
+        // and queueing delay on every link crossed.
         t = curTick();
-        NodeId at = src;
-        while (at != dst) {
-            NodeId next = nextHop(at, dst);
-            Tick &free_at = _linkFree[linkIndex(at, next)];
+        const std::uint16_t *link = &_routeLinks[_routeOffset[pair]];
+        for (unsigned h = 0; h < num_hops; ++h, ++link) {
+            Tick &free_at = _linkFree[*link];
             Tick start = std::max(t, free_at);
             free_at = start + flits; // 1 flit / cycle / link
             t = start + flits + _params.hopLatency;
-            at = next;
         }
     }
 
@@ -154,6 +205,25 @@ double
 Mesh::totalFlitCrossings() const
 {
     return _flitCrossings.total();
+}
+
+std::vector<InFlightMsg>
+Mesh::inFlightSnapshot() const
+{
+    std::vector<const InFlightRecord *> live;
+    for (const auto &rec : _records) {
+        if (rec.live)
+            live.push_back(&rec);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const InFlightRecord *a, const InFlightRecord *b) {
+                  return a->id < b->id;
+              });
+    std::vector<InFlightMsg> out;
+    out.reserve(live.size());
+    for (const InFlightRecord *rec : live)
+        out.push_back(rec->msg);
+    return out;
 }
 
 } // namespace nosync

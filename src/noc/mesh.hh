@@ -20,19 +20,27 @@
 #define NOC_MESH_HH
 
 #include <array>
-#include <functional>
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "noc/fault_injector.hh"
 #include "noc/traffic.hh"
 #include "sim/event_queue.hh"
 #include "sim/sim_object.hh"
+#include "sim/small_fn.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace nosync
 {
+
+/**
+ * Delivery action run at a message's destination. Sized so every
+ * protocol closure in the tree — including the line-data-carrying
+ * replies (a 64-byte LineData plus a reply functor) — stays in the
+ * inline buffer and never touches the heap.
+ */
+using DeliverFn = SmallFn<112>;
 
 /** Timing/size parameters of the mesh. */
 struct MeshParams
@@ -75,10 +83,11 @@ class Mesh : public SimObject
      * the message @p idempotent when delivering it twice is
      * harmless (pure requests whose responses are deduplicated by
      * the receiver); only such messages may be duplicated by an
-     * attached fault injector.
+     * attached fault injector (duplication copies the closure, so
+     * idempotent closures must be copyable).
      */
     void send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
-              std::function<void()> deliver, bool idempotent = false);
+              DeliverFn deliver, bool idempotent = false);
 
     /**
      * Best-case (uncontended) one-way latency between two nodes for a
@@ -100,11 +109,10 @@ class Mesh : public SimObject
 
     // Diagnostics -----------------------------------------------------
     /** Messages injected but not yet delivered, in injection order. */
-    const std::map<std::uint64_t, InFlightMsg> &
-    inFlight() const
-    {
-        return _inFlight;
-    }
+    std::vector<InFlightMsg> inFlightSnapshot() const;
+
+    /** Number of messages injected but not yet delivered. */
+    std::size_t inFlightCount() const { return _liveMsgs; }
 
   private:
     /** Index of the unidirectional link from @p from to @p to. */
@@ -116,16 +124,45 @@ class Mesh : public SimObject
     /** Track the message and schedule its delivery at @p arrives. */
     void scheduleDelivery(Tick arrives, NodeId src, NodeId dst,
                           TrafficClass cls, unsigned flits,
-                          std::function<void()> deliver,
-                          bool duplicate);
+                          DeliverFn deliver, bool duplicate);
+
+    /** Fill the per-pair route/hop tables (ctor helper). */
+    void buildRouteTable();
 
     MeshParams _params;
     /** Earliest tick each unidirectional link is free. */
     std::vector<Tick> _linkFree;
     FaultInjector *_faults = nullptr;
 
-    /** In-flight registry, keyed by a monotonic message id. */
-    std::map<std::uint64_t, InFlightMsg> _inFlight;
+    /**
+     * Precomputed XY routes: for each (src, dst) pair, the link
+     * indices the message crosses, flattened into one array with a
+     * per-pair offset. hops(src, dst) is the segment length.
+     */
+    std::vector<std::uint16_t> _routeLinks;
+    std::vector<std::uint32_t> _routeOffset; ///< src * numNodes + dst
+    std::vector<std::uint8_t> _hopTable;
+
+    /**
+     * In-flight registry: slab-recycled records so steady-state
+     * message traffic performs no allocation. Each record owns its
+     * delivery closure; the scheduled event only carries {this,
+     * slot}. Records keep their monotonic id for injection-order
+     * diagnostics.
+     */
+    struct InFlightRecord
+    {
+        std::uint64_t id = 0;
+        InFlightMsg msg;
+        DeliverFn deliver;
+        bool live = false;
+    };
+    /** Deliver and free the record in @p slot. */
+    void deliverSlot(std::uint32_t slot);
+
+    std::vector<InFlightRecord> _records;
+    std::vector<std::uint32_t> _freeRecords;
+    std::size_t _liveMsgs = 0;
     std::uint64_t _nextMsgId = 0;
 
     stats::Vector &_flitCrossings;

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Minimal JSON emitter for machine-readable benchmark output.
+ *
+ * Deliberately tiny (no external dependency, no DOM): a streaming
+ * writer with begin/end pairs and automatic comma placement, enough
+ * for the flat documents the bench harnesses emit. Doubles are
+ * printed with max_digits10 so the recorded metrics round-trip
+ * exactly.
+ */
+
+#ifndef RUNNER_JSON_WRITER_HH
+#define RUNNER_JSON_WRITER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nosync
+{
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : _os(os) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        comma();
+        _os << "{";
+        _first.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        _first.pop_back();
+        _os << "}";
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        comma();
+        _os << "[";
+        _first.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        _first.pop_back();
+        _os << "]";
+        return *this;
+    }
+
+    /** Emit a key; follow with exactly one value/begin call. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        comma();
+        quote(name);
+        _os << ":";
+        _pendingValue = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &s)
+    {
+        comma();
+        quote(s);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *s)
+    {
+        return value(std::string(s));
+    }
+
+    JsonWriter &
+    value(double d)
+    {
+        comma();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        _os << buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        comma();
+        _os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    JsonWriter &
+    value(bool b)
+    {
+        comma();
+        _os << (b ? "true" : "false");
+        return *this;
+    }
+
+  private:
+    void
+    comma()
+    {
+        if (_pendingValue) {
+            // This token is the value for an already-emitted key.
+            _pendingValue = false;
+            return;
+        }
+        if (!_first.empty()) {
+            if (!_first.back())
+                _os << ",";
+            _first.back() = false;
+        }
+    }
+
+    void
+    quote(const std::string &s)
+    {
+        _os << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                _os << "\\\"";
+                break;
+              case '\\':
+                _os << "\\\\";
+                break;
+              case '\n':
+                _os << "\\n";
+                break;
+              case '\t':
+                _os << "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    _os << buf;
+                } else {
+                    _os << c;
+                }
+            }
+        }
+        _os << '"';
+    }
+
+    std::ostream &_os;
+    std::vector<bool> _first;
+    bool _pendingValue = false;
+};
+
+} // namespace nosync
+
+#endif // RUNNER_JSON_WRITER_HH

@@ -3,17 +3,26 @@
 namespace nosync
 {
 
+EventFn
+EventQueue::popTop()
+{
+    const HeapEntry &top = _events.top();
+    _now = top.when;
+    ++_executed;
+    // Move the callback out before invoking: running it may schedule
+    // new events, which can grow the slab and reuse this slot.
+    EventFn fn = std::move(_fnSlots[top.slot]);
+    _freeSlots.push_back(top.slot);
+    _events.pop();
+    return fn;
+}
+
 Tick
 EventQueue::run(Tick limit)
 {
     while (!_events.empty() && _events.top().when <= limit) {
-        // Copy out: the callback may schedule new events and thus
-        // invalidate the top reference.
-        Event ev = _events.top();
-        _events.pop();
-        _now = ev.when;
-        ++_executed;
-        ev.fn();
+        EventFn fn = popTop();
+        fn();
     }
     if (_now < limit && !_events.empty())
         _now = limit;
@@ -25,11 +34,8 @@ EventQueue::step()
 {
     if (_events.empty())
         return false;
-    Event ev = _events.top();
-    _events.pop();
-    _now = ev.when;
-    ++_executed;
-    ev.fn();
+    EventFn fn = popTop();
+    fn();
     return true;
 }
 

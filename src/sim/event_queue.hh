@@ -12,11 +12,11 @@
 #define SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "logging.hh"
+#include "small_fn.hh"
 #include "types.hh"
 
 namespace nosync
@@ -32,11 +32,26 @@ enum class EventPriority : int
 };
 
 /**
+ * Callback type for scheduled events. Captures up to the inline
+ * capacity live inside the event record itself — no heap allocation
+ * on the schedule/execute hot path; larger captures spill to the
+ * heap transparently.
+ */
+using EventFn = SmallFn<56>;
+
+/**
  * A single-owner discrete-event queue.
  *
- * Callbacks are std::function thunks; components capture `this` and
+ * Callbacks are SmallFn thunks; components capture `this` and
  * whatever request state they need. The queue never runs callbacks
  * re-entrantly: schedule() during a callback enqueues for later.
+ *
+ * Storage is split for speed: the binary heap orders small POD
+ * entries (tick, packed priority+sequence, slot index) while the
+ * callback itself sits in a slab-recycled slot that never moves
+ * during heap sifts. Together with SmallFn's inline capture buffer,
+ * scheduling and executing an ordinary event touches no allocator
+ * once the slab is warm.
  */
 class EventQueue
 {
@@ -53,18 +68,33 @@ class EventQueue
      * @pre when >= now()
      */
     void
-    schedule(Tick when, std::function<void()> fn,
+    schedule(Tick when, EventFn fn,
              EventPriority prio = EventPriority::Default)
     {
         panic_if(when < _now, "scheduling event in the past (", when,
                  " < ", _now, ")");
-        _events.push(Event{when, static_cast<int>(prio), _nextSeq++,
-                           std::move(fn)});
+        std::uint32_t slot;
+        if (_freeSlots.empty()) {
+            slot = static_cast<std::uint32_t>(_fnSlots.size());
+            _fnSlots.push_back(std::move(fn));
+        } else {
+            slot = _freeSlots.back();
+            _freeSlots.pop_back();
+            _fnSlots[slot] = std::move(fn);
+        }
+        // Same-tick order: priority first, then FIFO. Both fold into
+        // one 64-bit key (priority in the top bits, a monotonic
+        // sequence below), so the heap comparator is two compares.
+        _events.push(HeapEntry{
+            when,
+            (static_cast<std::uint64_t>(prio) << kSeqBits) |
+                _nextSeq++,
+            slot});
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
     void
-    scheduleIn(Cycles delay, std::function<void()> fn,
+    scheduleIn(Cycles delay, EventFn fn,
                EventPriority prio = EventPriority::Default)
     {
         schedule(_now + delay, std::move(fn), prio);
@@ -89,26 +119,32 @@ class EventQueue
     std::uint64_t executed() const { return _executed; }
 
   private:
-    struct Event
+    /** Bits of the order key reserved for the FIFO sequence. */
+    static constexpr unsigned kSeqBits = 56;
+
+    struct HeapEntry
     {
         Tick when;
-        int prio;
-        std::uint64_t seq;
-        std::function<void()> fn;
+        std::uint64_t key; ///< (priority << kSeqBits) | sequence
+        std::uint32_t slot;
 
         bool
-        operator>(const Event &other) const
+        operator>(const HeapEntry &other) const
         {
             if (when != other.when)
                 return when > other.when;
-            if (prio != other.prio)
-                return prio > other.prio;
-            return seq > other.seq;
+            return key > other.key;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+    /** Pop the top entry and move its callback out of the slab. */
+    EventFn popTop();
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>>
         _events;
+    std::vector<EventFn> _fnSlots;
+    std::vector<std::uint32_t> _freeSlots;
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;

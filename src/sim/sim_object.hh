@@ -40,7 +40,7 @@ class SimObject
   protected:
     /** Schedule a member callback @p delay cycles from now. */
     void
-    scheduleIn(Cycles delay, std::function<void()> fn,
+    scheduleIn(Cycles delay, EventFn fn,
                EventPriority prio = EventPriority::Default)
     {
         _eq.scheduleIn(delay, std::move(fn), prio);

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Small-buffer-optimized callable for the simulator's hot paths.
+ *
+ * Every simulated event and every mesh delivery used to carry a
+ * std::function<void()>, whose ~16-byte inline buffer (libstdc++)
+ * forces a heap allocation for nearly every capture list in the
+ * codebase, plus another on each copy out of the event heap. SmallFn
+ * stores callables up to Capacity bytes in-place and only falls back
+ * to the heap beyond that, so the discrete-event core runs
+ * allocation-free for ordinary protocol callbacks.
+ *
+ * Semantics: type-erased void() callable, movable and copyable
+ * (copying panics at runtime if the stored callable is not
+ * copy-constructible — the mesh needs copies only for duplicated
+ * idempotent messages, whose closures are all copyable).
+ */
+
+#ifndef SIM_SMALL_FN_HH
+#define SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "logging.hh"
+
+namespace nosync
+{
+
+template <std::size_t Capacity>
+class SmallFn
+{
+  public:
+    SmallFn() = default;
+    SmallFn(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFn(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            new (_storage) Fn(std::forward<F>(f));
+            _ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(_storage) =
+                new Fn(std::forward<F>(f));
+            _ops = &heapOps<Fn>;
+        }
+    }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(other); }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &other)
+    {
+        if (other._ops) {
+            panic_if(!other._ops->copy,
+                     "copying a SmallFn holding a non-copyable "
+                     "callable");
+            other._ops->copy(other._storage, _storage);
+            _ops = other._ops;
+        }
+    }
+
+    SmallFn &
+    operator=(const SmallFn &other)
+    {
+        if (this != &other) {
+            SmallFn tmp(other);
+            reset();
+            moveFrom(tmp);
+        }
+        return *this;
+    }
+
+    ~SmallFn() { reset(); }
+
+    void
+    operator()()
+    {
+        panic_if(!_ops, "invoking an empty SmallFn");
+        _ops->invoke(_storage);
+    }
+
+    explicit operator bool() const { return _ops != nullptr; }
+
+    void
+    reset()
+    {
+        if (_ops) {
+            _ops->destroy(_storage);
+            _ops = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *src, void *dst);
+        /** Copy-construct dst from src; null if not copyable. */
+        void (*copy)(const void *src, void *dst);
+        void (*destroy)(void *);
+        /** Relocation is a plain byte copy (no ops call needed). */
+        bool trivialRelocate;
+    };
+
+    static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= Capacity && alignof(Fn) <= kAlign &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    void
+    moveFrom(SmallFn &other) noexcept
+    {
+        _ops = other._ops;
+        if (!_ops)
+            return;
+        if (_ops->trivialRelocate)
+            std::memcpy(_storage, other._storage, Capacity);
+        else
+            _ops->relocate(other._storage, _storage);
+        other._ops = nullptr;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *src, void *dst) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+            new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        []() -> void (*)(const void *, void *) {
+            if constexpr (std::is_copy_constructible_v<Fn>) {
+                return [](const void *src, void *dst) {
+                    new (dst) Fn(*std::launder(
+                        reinterpret_cast<const Fn *>(src)));
+                };
+            } else {
+                return nullptr;
+            }
+        }(),
+        [](void *s) {
+            std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+        },
+        std::is_trivially_copyable_v<Fn> &&
+            std::is_trivially_destructible_v<Fn>,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**reinterpret_cast<Fn **>(s))(); },
+        [](void *src, void *dst) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        []() -> void (*)(const void *, void *) {
+            if constexpr (std::is_copy_constructible_v<Fn>) {
+                return [](const void *src, void *dst) {
+                    *reinterpret_cast<Fn **>(dst) = new Fn(
+                        **reinterpret_cast<Fn *const *>(src));
+                };
+            } else {
+                return nullptr;
+            }
+        }(),
+        [](void *s) { delete *reinterpret_cast<Fn **>(s); },
+        true, // relocating a heap callable just moves its pointer
+    };
+
+    alignas(kAlign) unsigned char _storage[Capacity];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace nosync
+
+#endif // SIM_SMALL_FN_HH

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+
 #include "sim/event_queue.hh"
 
 using namespace nosync;
@@ -97,6 +100,77 @@ TEST(EventQueue, CountsExecutedEvents)
         eq.schedule(i, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 5u);
+}
+
+// Regression tests for the slab-recycled callback storage: freed
+// callback slots are reused by later schedules, and the FIFO sequence
+// numbering must survive that recycling.
+
+TEST(EventQueue, SameTickFifoSurvivesSlotRecycling)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Phase 1 populates and frees a batch of slots.
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(1, [&order, i] { order.push_back(i); });
+    eq.run();
+    order.clear();
+    // Phase 2 reuses the freed slots; FIFO order must be by schedule
+    // time, not by slot index.
+    for (int i = 15; i >= 0; --i)
+        eq.schedule(10, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], 15 - i);
+}
+
+TEST(EventQueue, EventsScheduledFromCallbacksKeepFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // The callback schedules more same-tick work while its own slot
+    // has already been freed for reuse.
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.schedule(5, [&] { order.push_back(2); });
+        eq.schedule(5, [&] { order.push_back(3); });
+    });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityStillBeatsFifoAfterRecycling)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(1, [] {});
+    eq.run();
+    eq.schedule(9, [&] { order.push_back(2); },
+                EventPriority::Stats);
+    eq.schedule(9, [&] { order.push_back(1); });
+    eq.schedule(9, [&] { order.push_back(0); },
+                EventPriority::NetworkDelivery);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, LargeCapturesBeyondInlineBufferWork)
+{
+    EventQueue eq;
+    // An 80-byte capture exceeds the EventFn inline buffer and takes
+    // the heap-fallback path; it must still run and destroy cleanly.
+    std::array<std::uint64_t, 10> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(1, [payload, &sum] {
+        for (auto v : payload)
+            sum += v;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 55u);
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
