@@ -48,12 +48,12 @@ main(int argc, char **argv)
         cell.run = system.run(*workload);
         for (unsigned cu = 0; cu < system.numCus(); ++cu) {
             std::string prefix = "l1." + std::to_string(cu);
-            cell.hits += system.stats().get(prefix + ".load_hits");
+            cell.hits += system.stats().find(prefix + ".load_hits")->value();
             cell.misses +=
-                system.stats().get(prefix + ".load_misses");
-            cell.shits += system.stats().get(prefix + ".sync_hits");
+                system.stats().find(prefix + ".load_misses")->value();
+            cell.shits += system.stats().find(prefix + ".sync_hits")->value();
             cell.smisses +=
-                system.stats().get(prefix + ".sync_misses");
+                system.stats().find(prefix + ".sync_misses")->value();
         }
         return cell;
     });

@@ -48,8 +48,11 @@ main(int argc, char **argv)
         CellResult cell;
         cell.run = system.run(*workload);
         for (unsigned cu = 0; cu < system.numCus(); ++cu) {
-            cell.drains += system.stats().get(
-                "l1." + std::to_string(cu) + ".sb_overflow_drains");
+            cell.drains +=
+                system.stats()
+                    .find("l1." + std::to_string(cu) +
+                          ".sb_overflow_drains")
+                    ->value();
         }
         return cell;
     });

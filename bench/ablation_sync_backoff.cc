@@ -50,8 +50,11 @@ main(int argc, char **argv)
         CellResult cell;
         cell.run = system.run(*workload);
         for (unsigned cu = 0; cu < system.numCus(); ++cu) {
-            cell.syncMisses += system.stats().get(
-                "l1." + std::to_string(cu) + ".sync_misses");
+            cell.syncMisses +=
+                system.stats()
+                    .find("l1." + std::to_string(cu) +
+                          ".sync_misses")
+                    ->value();
         }
         return cell;
     });

@@ -40,6 +40,13 @@ struct Options
     unsigned jobs = 1;
     /** Emit the result matrix as JSON to this path ("" = don't). */
     std::string jsonPath;
+    /**
+     * Enable transaction tracing and write per-cell Chrome trace
+     * JSON derived from this path ("" = tracing off). Each cell gets
+     * its own file — stem.<workload>.<config>.json — so parallel
+     * sweeps (--jobs=N) never contend for one output file.
+     */
+    std::string tracePath;
 
     /**
      * Harness-specific option hook: return true if @p arg was
@@ -79,11 +86,13 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
                 static_cast<unsigned>(std::atoi(argv[i] + 7)));
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             opts.jsonPath = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+            opts.tracePath = argv[i] + 8;
         } else if (!extra || !extra(argv[i])) {
             std::cerr << "error: unknown option " << argv[i]
                       << "\nusage: " << argv[0]
                       << " [--scale=N] [--jobs=N] [--json=PATH]"
-                         " [--no-breakdowns]"
+                         " [--trace=PATH] [--no-breakdowns]"
                       << extra_usage << "\n";
             std::exit(2);
         }
@@ -108,10 +117,28 @@ class WallTimer
         std::chrono::steady_clock::now();
 };
 
+/** Per-cell trace filename: stem.<workload>.<config>.json. */
+inline std::string
+traceCellPath(const std::string &base, const std::string &workload,
+              const std::string &config)
+{
+    std::string::size_type dot = base.rfind('.');
+    std::string::size_type slash = base.rfind('/');
+    std::string stem = base;
+    std::string ext = ".json";
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        stem = base.substr(0, dot);
+        ext = base.substr(dot);
+    }
+    return stem + "." + workload + "." + config + ext;
+}
+
 /**
  * Run one simulation cell: @p workload_name on @p proto, with an
  * optional SystemConfig tweak (ablation sweeps). Thread-safe: builds
- * a fresh System per call.
+ * a fresh System per call; under --trace each cell writes its own
+ * trace file.
  */
 inline RunResult
 runCell(const std::string &workload_name, const ProtocolConfig &proto,
@@ -121,10 +148,20 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
     auto workload = makeScaled(workload_name, opts.scalePercent);
     SystemConfig config;
     config.protocol = proto;
+    config.traceEnabled = !opts.tracePath.empty();
     if (tweak)
         tweak(config);
     System system(config);
-    return system.run(*workload);
+    RunResult result = system.run(*workload);
+    if (system.trace()) {
+        std::string path = traceCellPath(opts.tracePath, workload_name,
+                                         proto.shortName());
+        if (!system.trace()->writeChromeJson(path)) {
+            std::cerr << "error: cannot write trace " << path << "\n";
+            std::exit(1);
+        }
+    }
+    return result;
 }
 
 /** Print diagnostics and exit(1) if any run failed its checks. */

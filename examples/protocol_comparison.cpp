@@ -50,10 +50,10 @@ main(int argc, char **argv)
         double hits = 0, misses = 0, shits = 0, smisses = 0;
         for (unsigned cu = 0; cu < system.numCus(); ++cu) {
             std::string prefix = "l1." + std::to_string(cu);
-            hits += system.stats().get(prefix + ".load_hits");
-            misses += system.stats().get(prefix + ".load_misses");
-            shits += system.stats().get(prefix + ".sync_hits");
-            smisses += system.stats().get(prefix + ".sync_misses");
+            hits += system.stats().find(prefix + ".load_hits")->value();
+            misses += system.stats().find(prefix + ".load_misses")->value();
+            shits += system.stats().find(prefix + ".sync_hits")->value();
+            smisses += system.stats().find(prefix + ".sync_misses")->value();
         }
         auto pct = [](double a, double b) {
             return a + b > 0 ? 100.0 * a / (a + b) : 0.0;

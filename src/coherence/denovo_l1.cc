@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "trace/trace_sink.hh"
+
 namespace nosync
 {
 
@@ -55,23 +57,28 @@ DenovoL1Cache::DenovoL1Cache(const std::string &name, EventQueue &eq,
                              std::vector<DenovoL2Bank *> banks,
                              const RegionMap &regions,
                              const CacheGeometry &geom,
-                             const CacheTimings &timings)
-    : L1Controller(name, eq, stats, energy, node, config), _mesh(mesh),
-      _banks(std::move(banks)), _regions(regions),
+                             const CacheTimings &timings,
+                             trace::TraceSink *trace)
+    : L1Controller(name, eq, stats, energy, node, config, trace),
+      _mesh(mesh), _banks(std::move(banks)), _regions(regions),
       _array(geom.l1Bytes, geom.l1Assoc),
       _sb(geom.storeBufferEntries), _timings(timings),
       _mshr(geom.l1MshrEntries),
-      _remoteReadsServed(stats.scalar(name + ".remote_reads_served",
-                                      "reads served from this L1 for "
-                                      "remote CUs")),
-      _ownershipTransfers(stats.scalar(name + ".ownership_transfers",
-                                       "words whose ownership this L1 "
-                                       "gave up")),
-      _registrationsIssued(stats.scalar(name + ".registrations_issued",
-                                        "registration requests sent")),
-      _syncCoalesced(stats.scalar(name + ".sync_coalesced",
-                                  "sync accesses coalesced into a "
-                                  "pending registration"))
+      _remoteReadsServed(
+          stats.registerScalar(name + ".remote_reads_served",
+                               "reads served from this L1 for "
+                               "remote CUs")),
+      _ownershipTransfers(
+          stats.registerScalar(name + ".ownership_transfers",
+                               "words whose ownership this L1 "
+                               "gave up")),
+      _registrationsIssued(
+          stats.registerScalar(name + ".registrations_issued",
+                               "registration requests sent")),
+      _syncCoalesced(
+          stats.registerScalar(name + ".sync_coalesced",
+                               "sync accesses coalesced into a "
+                               "pending registration"))
 {
     panic_if(_config.protocol != CoherenceProtocol::Denovo,
              "DenovoL1Cache built with a non-DeNovo protocol config");
@@ -186,6 +193,10 @@ DenovoL1Cache::evictFrame(CacheLine &victim)
     unsigned flits = flitsForWords(popcount(reg_mask));
     Addr line_addr = victim.addr;
     LineData data = victim.data;
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1WritebackIssue,
+                       _node, line_addr, 0, reg_mask);
+    }
     _mesh.send(_node, bank.node(), flits, TrafficClass::WriteBack,
                [this, &bank, line_addr, reg_mask, data] {
                    bank.handleWriteBack(
@@ -357,6 +368,10 @@ DenovoL1Cache::flushUnsentReads(Addr line_addr)
 void
 DenovoL1Cache::issueRead(Addr line_addr, WordMask mask)
 {
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1MissIssue, _node,
+                       line_addr, 0, mask);
+    }
     DenovoL2Bank &bank = homeBank(line_addr);
     std::uint64_t sent_epoch = _curEpoch;
     _mesh.send(_node, bank.node(), kControlFlits, TrafficClass::Read,
@@ -645,6 +660,10 @@ DenovoL1Cache::issueRegistration(Addr line_addr, WordMask mask,
                                  bool is_sync)
 {
     ++_registrationsIssued;
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1RegIssue, _node,
+                       line_addr, 0, mask);
+    }
     DenovoL2Bank &bank = homeBank(line_addr);
     TrafficClass cls = is_sync ? TrafficClass::Atomic
                                : TrafficClass::Registration;
@@ -664,6 +683,10 @@ void
 DenovoL1Cache::onRegAck(Addr line_addr, WordMask direct_mask,
                         const LineData &values, bool is_sync)
 {
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1RegAck, _node,
+                       line_addr, 0, direct_mask);
+    }
     if (direct_mask != 0)
         grantWords(line_addr, direct_mask, values, is_sync);
 }

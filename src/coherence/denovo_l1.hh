@@ -44,7 +44,8 @@ class DenovoL1Cache : public L1Controller
                   Mesh &mesh, NodeId node, const ProtocolConfig &config,
                   std::vector<DenovoL2Bank *> banks,
                   const RegionMap &regions, const CacheGeometry &geom,
-                  const CacheTimings &timings);
+                  const CacheTimings &timings,
+                  trace::TraceSink *trace = nullptr);
 
     /** Wire the peer L1s (for direct owner-to-requestor transfers). */
     void setPeers(std::vector<DenovoL1Cache *> peers)
@@ -104,14 +105,15 @@ class DenovoL1Cache : public L1Controller
 
     // Diagnostics -----------------------------------------------------
     /** Structured view of outstanding transaction state. */
-    ControllerSnapshot snapshot() const;
+    ControllerSnapshot snapshot() const override;
 
     /**
      * Controller-local invariant sweep. @p quiesced additionally
      * requires every outstanding-state structure to be empty (leak
      * detection). @return violation descriptions; empty when clean.
      */
-    std::vector<std::string> checkInvariants(bool quiesced) const;
+    std::vector<std::string>
+    checkInvariants(bool quiesced) const override;
 
     /** Invoke @p fn with the word address of every Registered word. */
     void forEachRegisteredWord(
@@ -364,10 +366,10 @@ class DenovoL1Cache : public L1Controller
     /** Current registration delay for a sync access (0 if none). */
     Cycles syncBackoffDelay(const SyncOp &op);
 
-    stats::Scalar &_remoteReadsServed;
-    stats::Scalar &_ownershipTransfers;
-    stats::Scalar &_registrationsIssued;
-    stats::Scalar &_syncCoalesced;
+    stats::Handle<stats::Scalar> _remoteReadsServed;
+    stats::Handle<stats::Scalar> _ownershipTransfers;
+    stats::Handle<stats::Scalar> _registrationsIssued;
+    stats::Handle<stats::Scalar> _syncCoalesced;
 };
 
 } // namespace nosync

@@ -1,9 +1,9 @@
 #include "coherence/denovo_l2.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "coherence/denovo_l1.hh"
+#include "trace/trace_sink.hh"
 
 namespace nosync
 {
@@ -12,29 +12,36 @@ DenovoL2Bank::DenovoL2Bank(const std::string &name, EventQueue &eq,
                            stats::StatSet &stats, EnergyModel &energy,
                            Mesh &mesh, NodeId node, FunctionalMem &memory,
                            const CacheGeometry &geom,
-                           const CacheTimings &timings)
-    : SimObject(name, eq), _node(node), _mesh(mesh), _energy(energy),
-      _memory(memory), _array(geom.l2BankBytes, geom.l2Assoc),
-      _timings(timings), _fetches(geom.l2MshrEntries),
-      _reads(stats.scalar(name + ".reads", "read requests served")),
-      _registrations(stats.scalar(name + ".registrations",
-                                  "data registrations processed")),
-      _syncRegistrations(stats.scalar(name + ".sync_registrations",
-                                      "sync registrations processed")),
-      _forwards(stats.scalar(name + ".forwards",
-                             "requests forwarded to owner L1s")),
-      _writebacks(stats.scalar(name + ".writebacks",
-                               "registered-word writebacks accepted")),
-      _staleWritebacks(stats.scalar(name + ".stale_writebacks",
-                                    "writebacks ignored (ownership "
-                                    "already moved)")),
-      _recallsStat(stats.scalar(name + ".recalls",
-                                "L2 evictions requiring ownership "
-                                "recall")),
-      _dramFetches(stats.scalar(name + ".dram_fetches",
-                                "line fetches from memory")),
-      _dramWritebacks(stats.scalar(name + ".dram_writebacks",
-                                   "line writebacks to memory"))
+                           const CacheTimings &timings,
+                           trace::TraceSink *trace)
+    : L2Controller(name, eq, node, trace), _mesh(mesh),
+      _energy(energy), _memory(memory),
+      _array(geom.l2BankBytes, geom.l2Assoc), _timings(timings),
+      _fetches(geom.l2MshrEntries),
+      _reads(stats.registerScalar(name + ".reads",
+                                  "read requests served")),
+      _registrations(
+          stats.registerScalar(name + ".registrations",
+                               "data registrations processed")),
+      _syncRegistrations(
+          stats.registerScalar(name + ".sync_registrations",
+                               "sync registrations processed")),
+      _forwards(
+          stats.registerScalar(name + ".forwards",
+                               "requests forwarded to owner L1s")),
+      _writebacks(stats.registerScalar(
+          name + ".writebacks", "registered-word writebacks accepted")),
+      _staleWritebacks(
+          stats.registerScalar(name + ".stale_writebacks",
+                               "writebacks ignored (ownership "
+                               "already moved)")),
+      _recallsStat(stats.registerScalar(name + ".recalls",
+                                        "L2 evictions requiring "
+                                        "ownership recall")),
+      _dramFetches(stats.registerScalar(name + ".dram_fetches",
+                                        "line fetches from memory")),
+      _dramWritebacks(stats.registerScalar(
+          name + ".dram_writebacks", "line writebacks to memory"))
 {
 }
 
@@ -284,6 +291,10 @@ DenovoL2Bank::handleReadReq(Addr line_addr, WordMask mask,
         // The reply carries every word the L2 can serve (sector-style
         // line transfer of useful words only).
         WordMask l2_mask = line.maskInState(WordState::Valid);
+        if (_trace) {
+            _trace->record(curTick(), trace::Phase::L2ReadServe, _node,
+                           lineAlign(line_addr), 0, l2_mask);
+        }
         unsigned flits = flitsForWords(popcount(l2_mask));
         _mesh.send(_node, requestor, flits, TrafficClass::Read,
                    [reply, l2_mask, data = line.data, self_mask] {
@@ -299,6 +310,11 @@ DenovoL2Bank::handleReadReq(Addr line_addr, WordMask mask,
             if (fwd_mask == 0)
                 continue;
             ++_forwards;
+            if (_trace) {
+                _trace->record(curTick(), trace::Phase::L2Forward,
+                               _node, lineAlign(line_addr), 0,
+                               static_cast<std::uint16_t>(owner));
+            }
             DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
             _mesh.send(_node, owner, kControlFlits, TrafficClass::Read,
                        [l1, line_addr, fwd_mask, requestor,
@@ -324,18 +340,10 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
     else
         ++_registrations;
 
-    static const bool trace_on =
-            std::getenv("NOSYNC_TRACE") != nullptr;
-        if (trace_on) {
-        std::fprintf(stderr,
-                     "%llu %s regreq line=%llx mask=%x from=%d\n",
-                     (unsigned long long)curTick(), name().c_str(),
-                     (unsigned long long)lineAlign(line_addr), mask,
-                     requestor);
-    }
     withLine(line_addr, [this, line_addr, mask, is_sync, requestor,
                          reply = std::move(reply)](CacheLine &line) {
         WordMask direct = 0;
+        WordMask moved = 0;
         bool any_fwd = false;
         std::fill(_fwdScratch.begin(), _fwdScratch.end(),
                   WordMask{0});
@@ -350,26 +358,27 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
                     // Serialize racy registrations in arrival order:
                     // record the new owner now and forward to the old
                     // one, forming the distributed queue.
-                    if ([]{ static const bool on = std::getenv("NOSYNC_TRACE") != nullptr; return on; }()) {
-                        std::fprintf(stderr,
-                                     "%llu %s reg fwd line=%llx w=%u "
-                                     "old=%d new=%d\n",
-                                     (unsigned long long)curTick(),
-                                     name().c_str(),
-                                     (unsigned long long)line_addr, w,
-                                     (int)line.owner[w], requestor);
-                    }
                     _fwdScratch[static_cast<std::size_t>(
                         line.owner[w])] |= bit;
                     any_fwd = true;
+                    moved |= bit;
                     line.owner[w] =
                         static_cast<std::int8_t>(requestor);
                 }
             } else {
                 direct |= bit;
+                moved |= bit;
                 line.wstate[w] = WordState::Registered;
                 line.owner[w] = static_cast<std::int8_t>(requestor);
             }
+        }
+
+        if (_trace && moved) {
+            // One event per request: the words whose registered
+            // owner just became the requestor (direct grants plus
+            // queue-forwarded words).
+            _trace->record(curTick(), trace::Phase::L2OwnerChange,
+                           _node, lineAlign(line_addr), 0, moved);
         }
 
         TrafficClass cls = is_sync ? TrafficClass::Atomic
@@ -390,6 +399,11 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
             if (fwd_mask == 0)
                 continue;
             ++_forwards;
+            if (_trace) {
+                _trace->record(curTick(), trace::Phase::L2Forward,
+                               _node, lineAlign(line_addr), 0,
+                               static_cast<std::uint16_t>(owner));
+            }
             DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
             _mesh.send(_node, owner, kControlFlits, cls,
                        [l1, line_addr, fwd_mask, requestor, is_sync] {
@@ -412,41 +426,28 @@ DenovoL2Bank::handleWriteBack(Addr line_addr, WordMask mask,
 {
     withLine(line_addr, [this, mask, data, requestor,
                          ack = std::move(ack)](CacheLine &line) {
+        WordMask accepted = 0;
         for (unsigned w = 0; w < kWordsPerLine; ++w) {
             WordMask bit = static_cast<WordMask>(1u << w);
             if (!(mask & bit))
                 continue;
             if (line.wstate[w] == WordState::Registered &&
                 line.owner[w] == requestor) {
-                if ([]{ static const bool on = std::getenv("NOSYNC_TRACE") != nullptr; return on; }()) {
-                    std::fprintf(stderr,
-                                 "%llu %s wb accept line=%llx w=%u "
-                                 "val=%u from=%d\n",
-                                 (unsigned long long)curTick(),
-                                 name().c_str(),
-                                 (unsigned long long)lineAlign(
-                                     line.addr), w, data[w],
-                                 requestor);
-                }
                 line.data[w] = data[w];
                 line.wstate[w] = WordState::Valid;
                 line.owner[w] = static_cast<std::int8_t>(kNoNode);
                 line.dirty |= bit;
+                accepted |= bit;
                 ++_writebacks;
             } else {
-                if ([]{ static const bool on = std::getenv("NOSYNC_TRACE") != nullptr; return on; }()) {
-                    std::fprintf(stderr,
-                                 "%llu %s wb stale line=%llx w=%u "
-                                 "val=%u from=%d owner=%d\n",
-                                 (unsigned long long)curTick(),
-                                 name().c_str(),
-                                 (unsigned long long)lineAlign(
-                                     line.addr), w, data[w],
-                                 requestor, (int)line.owner[w]);
-                }
                 // Ownership already moved on; the data is stale.
                 ++_staleWritebacks;
             }
+        }
+        if (_trace && accepted) {
+            // Accepted words return to L2 ownership (owner = none).
+            _trace->record(curTick(), trace::Phase::L2OwnerChange,
+                           _node, lineAlign(line.addr), 0, accepted);
         }
         _mesh.send(_node, requestor, kControlFlits,
                    TrafficClass::WriteBack, std::move(ack));

@@ -21,6 +21,7 @@
 
 #include "coherence/cache_timings.hh"
 #include "coherence/l1_controller.hh"
+#include "coherence/l2_controller.hh"
 #include "coherence/protocol.hh"
 #include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
@@ -46,14 +47,14 @@ using RegReply =
     std::function<void(WordMask direct_mask, const LineData &data)>;
 
 /** One bank of the DeNovo registry. */
-class DenovoL2Bank : public SimObject
+class DenovoL2Bank : public L2Controller
 {
   public:
     DenovoL2Bank(const std::string &name, EventQueue &eq,
                  stats::StatSet &stats, EnergyModel &energy, Mesh &mesh,
                  NodeId node, FunctionalMem &memory,
-                 const CacheGeometry &geom,
-                 const CacheTimings &timings);
+                 const CacheGeometry &geom, const CacheTimings &timings,
+                 trace::TraceSink *trace = nullptr);
 
     /** Wire the L1 caches (for protocol forwards). */
     void setL1s(std::vector<DenovoL1Cache *> l1s)
@@ -61,8 +62,6 @@ class DenovoL2Bank : public SimObject
         _l1s = std::move(l1s);
         _fwdScratch.assign(_l1s.size(), 0);
     }
-
-    NodeId node() const { return _node; }
 
     /**
      * Data read: replies with L2-valid words; forwards to owner L1s
@@ -90,19 +89,20 @@ class DenovoL2Bank : public SimObject
                           const LineData &data);
 
     /** Test hooks. */
-    std::uint32_t peekWord(Addr addr);
+    std::uint32_t peekWord(Addr addr) override;
     NodeId ownerOf(Addr addr);
 
     // Diagnostics -----------------------------------------------------
     /** Structured view of outstanding transaction state. */
-    ControllerSnapshot snapshot() const;
+    ControllerSnapshot snapshot() const override;
 
     /**
      * Bank-local invariant sweep: every registry entry must point at
      * a live L1; @p quiesced additionally requires empty fetch MSHRs,
      * stall queues, and recalls. @return violations; empty if clean.
      */
-    std::vector<std::string> checkInvariants(bool quiesced) const;
+    std::vector<std::string>
+    checkInvariants(bool quiesced) const override;
 
     /** Invoke @p fn(word_addr, owner) for every registered word. */
     void forEachRegisteredWord(
@@ -131,7 +131,6 @@ class DenovoL2Bank : public SimObject
         return _recalls.count(lineAlign(line_addr)) != 0;
     }
 
-    NodeId _node;
     Mesh &_mesh;
     EnergyModel &_energy;
     FunctionalMem &_memory;
@@ -181,15 +180,15 @@ class DenovoL2Bank : public SimObject
     };
     std::unordered_map<Addr, RecallState> _recalls;
 
-    stats::Scalar &_reads;
-    stats::Scalar &_registrations;
-    stats::Scalar &_syncRegistrations;
-    stats::Scalar &_forwards;
-    stats::Scalar &_writebacks;
-    stats::Scalar &_staleWritebacks;
-    stats::Scalar &_recallsStat;
-    stats::Scalar &_dramFetches;
-    stats::Scalar &_dramWritebacks;
+    stats::Handle<stats::Scalar> _reads;
+    stats::Handle<stats::Scalar> _registrations;
+    stats::Handle<stats::Scalar> _syncRegistrations;
+    stats::Handle<stats::Scalar> _forwards;
+    stats::Handle<stats::Scalar> _writebacks;
+    stats::Handle<stats::Scalar> _staleWritebacks;
+    stats::Handle<stats::Scalar> _recallsStat;
+    stats::Handle<stats::Scalar> _dramFetches;
+    stats::Handle<stats::Scalar> _dramWritebacks;
 };
 
 } // namespace nosync

@@ -1,5 +1,7 @@
 #include "coherence/gpu_l1.hh"
 
+#include "trace/trace_sink.hh"
+
 namespace nosync
 {
 
@@ -9,9 +11,11 @@ GpuL1Cache::GpuL1Cache(const std::string &name, EventQueue &eq,
                        const ProtocolConfig &config,
                        std::vector<GpuL2Bank *> banks,
                        const CacheGeometry &geom,
-                       const CacheTimings &timings)
-    : L1Controller(name, eq, stats, energy, node, config), _mesh(mesh),
-      _banks(std::move(banks)), _array(geom.l1Bytes, geom.l1Assoc),
+                       const CacheTimings &timings,
+                       trace::TraceSink *trace)
+    : L1Controller(name, eq, stats, energy, node, config, trace),
+      _mesh(mesh), _banks(std::move(banks)),
+      _array(geom.l1Bytes, geom.l1Assoc),
       _sb(geom.storeBufferEntries), _timings(timings),
       _mshr(geom.l1MshrEntries)
 {
@@ -101,6 +105,10 @@ GpuL1Cache::load(Addr addr, ValueCallback cb)
 void
 GpuL1Cache::issueRead(Addr line_addr)
 {
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1MissIssue, _node,
+                       line_addr);
+    }
     GpuL2Bank &bank = homeBank(line_addr);
     std::uint64_t sent_epoch = _curEpoch;
     // Read requests are idempotent: a duplicated delivery only
@@ -349,6 +357,10 @@ void
 GpuL1Cache::sendWriteThrough(Addr line_addr, WordMask mask,
                              const LineData &data)
 {
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1WriteThrough, _node,
+                       line_addr, 0, mask);
+    }
     ++_pendingWtAcks;
     // Keep the in-flight values forwardable until the L2 merged them.
     for (unsigned w = 0; w < kWordsPerLine; ++w) {

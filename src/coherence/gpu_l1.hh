@@ -37,7 +37,8 @@ class GpuL1Cache : public L1Controller
                stats::StatSet &stats, EnergyModel &energy, Mesh &mesh,
                NodeId node, const ProtocolConfig &config,
                std::vector<GpuL2Bank *> banks,
-               const CacheGeometry &geom, const CacheTimings &timings);
+               const CacheGeometry &geom, const CacheTimings &timings,
+               trace::TraceSink *trace = nullptr);
 
     void load(Addr addr, ValueCallback cb) override;
     void store(Addr addr, std::uint32_t value, DoneCallback cb)
@@ -54,7 +55,7 @@ class GpuL1Cache : public L1Controller
 
     // Diagnostics -----------------------------------------------------
     /** Structured view of outstanding transaction state. */
-    ControllerSnapshot snapshot() const;
+    ControllerSnapshot snapshot() const override;
 
     /**
      * Controller-local invariant sweep. @p quiesced additionally
@@ -62,7 +63,8 @@ class GpuL1Cache : public L1Controller
      * detection after the workload completed and the event queue
      * drained). @return violation descriptions; empty when clean.
      */
-    std::vector<std::string> checkInvariants(bool quiesced) const;
+    std::vector<std::string>
+    checkInvariants(bool quiesced) const override;
 
   private:
     /** A load waiting on a fill, with its acquire epoch at issue. */

@@ -1,5 +1,7 @@
 #include "coherence/gpu_l2.hh"
 
+#include "trace/trace_sink.hh"
+
 namespace nosync
 {
 
@@ -7,19 +9,23 @@ GpuL2Bank::GpuL2Bank(const std::string &name, EventQueue &eq,
                      stats::StatSet &stats, EnergyModel &energy,
                      Mesh &mesh, NodeId node, FunctionalMem &memory,
                      const CacheGeometry &geom,
-                     const CacheTimings &timings)
-    : SimObject(name, eq), _node(node), _mesh(mesh), _energy(energy),
-      _memory(memory), _array(geom.l2BankBytes, geom.l2Assoc),
-      _timings(timings), _fetches(geom.l2MshrEntries),
-      _reads(stats.scalar(name + ".reads", "read requests served")),
-      _writethroughs(stats.scalar(name + ".writethroughs",
-                                  "writethrough messages merged")),
-      _atomics(stats.scalar(name + ".atomics",
-                            "atomics executed at this bank")),
-      _dramFetches(stats.scalar(name + ".dram_fetches",
-                                "line fetches from memory")),
-      _dramWritebacks(stats.scalar(name + ".dram_writebacks",
-                                   "dirty line writebacks to memory"))
+                     const CacheTimings &timings,
+                     trace::TraceSink *trace)
+    : L2Controller(name, eq, node, trace), _mesh(mesh),
+      _energy(energy), _memory(memory),
+      _array(geom.l2BankBytes, geom.l2Assoc), _timings(timings),
+      _fetches(geom.l2MshrEntries),
+      _reads(stats.registerScalar(name + ".reads",
+                                  "read requests served")),
+      _writethroughs(stats.registerScalar(
+          name + ".writethroughs", "writethrough messages merged")),
+      _atomics(stats.registerScalar(name + ".atomics",
+                                    "atomics executed at this bank")),
+      _dramFetches(stats.registerScalar(name + ".dram_fetches",
+                                        "line fetches from memory")),
+      _dramWritebacks(
+          stats.registerScalar(name + ".dram_writebacks",
+                               "dirty line writebacks to memory"))
 {
 }
 
@@ -121,8 +127,13 @@ GpuL2Bank::handleReadReq(Addr line_addr, NodeId requestor,
                          std::function<void(const LineData &)> reply)
 {
     ++_reads;
-    withLine(line_addr, [this, requestor, reply = std::move(reply)](
-                            CacheLine &line) {
+    withLine(line_addr, [this, line_addr, requestor,
+                         reply = std::move(reply)](CacheLine &line) {
+        if (_trace) {
+            _trace->record(curTick(), trace::Phase::L2ReadServe, _node,
+                           line_addr, 0,
+                           static_cast<std::uint16_t>(requestor));
+        }
         LineData data = line.data;
         _mesh.send(_node, requestor, kLineFlits, TrafficClass::Read,
                    [reply, data] { reply(data); });
@@ -136,8 +147,13 @@ GpuL2Bank::handleWriteThrough(Addr line_addr, WordMask mask,
 {
     ++_writethroughs;
     withLine(line_addr,
-             [this, mask, data, requestor,
+             [this, line_addr, mask, data, requestor,
               ack = std::move(ack)](CacheLine &line) {
+                 if (_trace) {
+                     _trace->record(curTick(),
+                                    trace::Phase::L2WriteThrough,
+                                    _node, line_addr, 0, mask);
+                 }
                  for (unsigned w = 0; w < kWordsPerLine; ++w) {
                      if (mask & (1u << w))
                          line.data[w] = data[w];
@@ -156,6 +172,11 @@ GpuL2Bank::handleAtomic(const SyncOp &op, NodeId requestor,
     _energy.atomicAlu();
     withLine(op.addr, [this, op, requestor,
                        reply = std::move(reply)](CacheLine &line) {
+        if (_trace) {
+            _trace->record(curTick(), trace::Phase::L2Atomic, _node,
+                           op.addr, 0,
+                           static_cast<std::uint16_t>(requestor));
+        }
         unsigned w = wordInLine(op.addr);
         AtomicResult res = applyAtomic(op, line.data[w]);
         if (res.stored) {

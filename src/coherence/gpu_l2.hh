@@ -17,6 +17,7 @@
 
 #include "coherence/cache_timings.hh"
 #include "coherence/l1_controller.hh"
+#include "coherence/l2_controller.hh"
 #include "coherence/protocol.hh"
 #include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
@@ -28,15 +29,14 @@ namespace nosync
 {
 
 /** One bank of the shared GPU L2. */
-class GpuL2Bank : public SimObject
+class GpuL2Bank : public L2Controller
 {
   public:
     GpuL2Bank(const std::string &name, EventQueue &eq,
               stats::StatSet &stats, EnergyModel &energy, Mesh &mesh,
               NodeId node, FunctionalMem &memory,
-              const CacheGeometry &geom, const CacheTimings &timings);
-
-    NodeId node() const { return _node; }
+              const CacheGeometry &geom, const CacheTimings &timings,
+              trace::TraceSink *trace = nullptr);
 
     /** Data read request: replies with the full line. */
     void handleReadReq(Addr line_addr, NodeId requestor,
@@ -55,14 +55,15 @@ class GpuL2Bank : public SimObject
                       ValueCallback reply);
 
     /** Direct functional peek used by tests. */
-    std::uint32_t peekWord(Addr addr);
+    std::uint32_t peekWord(Addr addr) override;
 
     // Diagnostics -----------------------------------------------------
     /** Structured view of outstanding transaction state. */
-    ControllerSnapshot snapshot() const;
+    ControllerSnapshot snapshot() const override;
 
     /** Bank-local invariant sweep (see GpuL1Cache::checkInvariants). */
-    std::vector<std::string> checkInvariants(bool quiesced) const;
+    std::vector<std::string>
+    checkInvariants(bool quiesced) const override;
 
   private:
     /** Run @p fn on the (possibly DRAM-fetched) line after timing. */
@@ -71,7 +72,6 @@ class GpuL2Bank : public SimObject
     /** Install a line fetched from memory, evicting as needed. */
     CacheLine &installLine(Addr line_addr);
 
-    NodeId _node;
     Mesh &_mesh;
     EnergyModel &_energy;
     FunctionalMem &_memory;
@@ -101,11 +101,11 @@ class GpuL2Bank : public SimObject
                        bool queued = false);
     void processStalled();
 
-    stats::Scalar &_reads;
-    stats::Scalar &_writethroughs;
-    stats::Scalar &_atomics;
-    stats::Scalar &_dramFetches;
-    stats::Scalar &_dramWritebacks;
+    stats::Handle<stats::Scalar> _reads;
+    stats::Handle<stats::Scalar> _writethroughs;
+    stats::Handle<stats::Scalar> _atomics;
+    stats::Handle<stats::Scalar> _dramFetches;
+    stats::Handle<stats::Scalar> _dramWritebacks;
 };
 
 } // namespace nosync

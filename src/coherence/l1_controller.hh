@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "coherence/protocol.hh"
+#include "coherence/snapshot.hh"
 #include "energy/energy_model.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
@@ -27,6 +29,11 @@
 
 namespace nosync
 {
+
+namespace trace
+{
+class TraceSink;
+}
 
 /** Callback returning a loaded / atomic-returned value. */
 using ValueCallback = std::function<void(std::uint32_t)>;
@@ -38,54 +45,63 @@ using DoneCallback = std::function<void()>;
 struct L1Stats
 {
     L1Stats(stats::StatSet &set, const std::string &prefix)
-        : loadHits(set.scalar(prefix + ".load_hits",
-                              "data loads hitting in L1/SB")),
-          loadMisses(set.scalar(prefix + ".load_misses",
-                                "data loads missing in L1")),
-          storeHits(set.scalar(prefix + ".store_hits",
-                               "data stores completing in L1")),
-          storeBuffered(set.scalar(prefix + ".store_buffered",
-                                   "data stores entering the SB")),
-          storeCoalesced(set.scalar(prefix + ".store_coalesced",
-                                    "stores coalescing into SB "
-                                    "entries")),
-          sbOverflowDrains(set.scalar(prefix + ".sb_overflow_drains",
-                                      "store-buffer drains forced by "
-                                      "overflow")),
-          syncHits(set.scalar(prefix + ".sync_hits",
-                              "sync accesses performed at L1 without "
-                              "network traffic")),
-          syncMisses(set.scalar(prefix + ".sync_misses",
-                                "sync accesses requiring the "
-                                "network")),
+        : loadHits(set.registerScalar(prefix + ".load_hits",
+                                      "data loads hitting in L1/SB")),
+          loadMisses(set.registerScalar(prefix + ".load_misses",
+                                        "data loads missing in L1")),
+          storeHits(
+              set.registerScalar(prefix + ".store_hits",
+                                 "data stores completing in L1")),
+          storeBuffered(
+              set.registerScalar(prefix + ".store_buffered",
+                                 "data stores entering the SB")),
+          storeCoalesced(
+              set.registerScalar(prefix + ".store_coalesced",
+                                 "stores coalescing into SB "
+                                 "entries")),
+          sbOverflowDrains(
+              set.registerScalar(prefix + ".sb_overflow_drains",
+                                 "store-buffer drains forced by "
+                                 "overflow")),
+          syncHits(set.registerScalar(
+              prefix + ".sync_hits",
+              "sync accesses performed at L1 without "
+              "network traffic")),
+          syncMisses(set.registerScalar(prefix + ".sync_misses",
+                                        "sync accesses requiring the "
+                                        "network")),
           acquireInvalidations(
-              set.scalar(prefix + ".acquire_invalidations",
-                         "flash/self invalidation operations")),
-          wordsInvalidated(set.scalar(prefix + ".words_invalidated",
-                                      "words discarded by "
-                                      "self-invalidation")),
-          wordsPreserved(set.scalar(prefix + ".words_preserved",
-                                    "words preserved across "
-                                    "acquires")),
-          releaseDrains(set.scalar(prefix + ".release_drains",
-                                   "release-triggered SB drains")),
-          evictions(set.scalar(prefix + ".evictions",
-                               "L1 line evictions"))
+              set.registerScalar(prefix + ".acquire_invalidations",
+                                 "flash/self invalidation "
+                                 "operations")),
+          wordsInvalidated(
+              set.registerScalar(prefix + ".words_invalidated",
+                                 "words discarded by "
+                                 "self-invalidation")),
+          wordsPreserved(
+              set.registerScalar(prefix + ".words_preserved",
+                                 "words preserved across "
+                                 "acquires")),
+          releaseDrains(
+              set.registerScalar(prefix + ".release_drains",
+                                 "release-triggered SB drains")),
+          evictions(set.registerScalar(prefix + ".evictions",
+                                       "L1 line evictions"))
     {}
 
-    stats::Scalar &loadHits;
-    stats::Scalar &loadMisses;
-    stats::Scalar &storeHits;
-    stats::Scalar &storeBuffered;
-    stats::Scalar &storeCoalesced;
-    stats::Scalar &sbOverflowDrains;
-    stats::Scalar &syncHits;
-    stats::Scalar &syncMisses;
-    stats::Scalar &acquireInvalidations;
-    stats::Scalar &wordsInvalidated;
-    stats::Scalar &wordsPreserved;
-    stats::Scalar &releaseDrains;
-    stats::Scalar &evictions;
+    stats::Handle<stats::Scalar> loadHits;
+    stats::Handle<stats::Scalar> loadMisses;
+    stats::Handle<stats::Scalar> storeHits;
+    stats::Handle<stats::Scalar> storeBuffered;
+    stats::Handle<stats::Scalar> storeCoalesced;
+    stats::Handle<stats::Scalar> sbOverflowDrains;
+    stats::Handle<stats::Scalar> syncHits;
+    stats::Handle<stats::Scalar> syncMisses;
+    stats::Handle<stats::Scalar> acquireInvalidations;
+    stats::Handle<stats::Scalar> wordsInvalidated;
+    stats::Handle<stats::Scalar> wordsPreserved;
+    stats::Handle<stats::Scalar> releaseDrains;
+    stats::Handle<stats::Scalar> evictions;
 };
 
 /** Interface a compute unit uses to access memory through its L1. */
@@ -94,14 +110,22 @@ class L1Controller : public SimObject
   public:
     L1Controller(const std::string &name, EventQueue &eq,
                  stats::StatSet &stats, EnergyModel &energy,
-                 NodeId node, const ProtocolConfig &config)
+                 NodeId node, const ProtocolConfig &config,
+                 trace::TraceSink *trace = nullptr)
         : SimObject(name, eq), _node(node), _config(config),
-          _energy(energy), _stats(stats, name)
+          _energy(energy), _stats(stats, name), _trace(trace)
     {}
 
     NodeId node() const { return _node; }
     const ProtocolConfig &config() const { return _config; }
     const L1Stats &l1Stats() const { return _stats; }
+
+    /** Structured occupancy snapshot for hang diagnostics. */
+    virtual ControllerSnapshot snapshot() const = 0;
+
+    /** Protocol invariant sweep; returns violation descriptions. */
+    virtual std::vector<std::string>
+    checkInvariants(bool quiesced) const = 0;
 
     /** Issue a data load; @p cb fires with the value when it returns. */
     virtual void load(Addr addr, ValueCallback cb) = 0;
@@ -144,6 +168,8 @@ class L1Controller : public SimObject
     ProtocolConfig _config;
     EnergyModel &_energy;
     L1Stats _stats;
+    /** Observability sink; nullptr when tracing is disabled. */
+    trace::TraceSink *_trace = nullptr;
 };
 
 } // namespace nosync

@@ -45,21 +45,15 @@ ProtocolChecker::sweep(bool quiesced) const
     };
 
     // Per-controller internal consistency (plus leak detection when
-    // quiesced).
-    for (unsigned cu = 0; cu < num_cus; ++cu) {
-        if (DenovoL1Cache *l1 = _sys.denovoL1(cu))
-            collect(l1->checkInvariants(quiesced));
-        if (GpuL1Cache *l1 = _sys.gpuL1(cu))
-            collect(l1->checkInvariants(quiesced));
-    }
-    for (unsigned bank = 0; bank < num_nodes; ++bank) {
-        if (DenovoL2Bank *b = _sys.denovoBank(bank))
-            collect(b->checkInvariants(quiesced));
-        if (GpuL2Bank *b = _sys.gpuBank(bank))
-            collect(b->checkInvariants(quiesced));
-    }
+    // quiesced). The sweep is protocol-agnostic: it walks the uniform
+    // l1()/l2Bank() interfaces and only downcasts (as<T>) for the
+    // ownership cross-checks that exist solely under DeNovo.
+    for (unsigned cu = 0; cu < num_cus; ++cu)
+        collect(_sys.l1(cu).checkInvariants(quiesced));
+    for (unsigned bank = 0; bank < num_nodes; ++bank)
+        collect(_sys.l2Bank(bank).checkInvariants(quiesced));
 
-    if (!_sys.denovoL1(0))
+    if (as<DenovoL1Cache>(_sys.l1(0)) == nullptr)
         return out; // GPU protocol: no ownership state to cross-check.
 
     // At most one L1 holds any word Registered, at every tick: on an
@@ -67,7 +61,7 @@ ProtocolChecker::sweep(bool quiesced) const
     // message is even sent.
     std::map<Addr, std::vector<unsigned>> owners;
     for (unsigned cu = 0; cu < num_cus; ++cu) {
-        _sys.denovoL1(cu)->forEachRegisteredWord(
+        as<DenovoL1Cache>(_sys.l1(cu))->forEachRegisteredWord(
             [&](Addr addr) { owners[addr].push_back(cu); });
     }
     for (const auto &[addr, cus] : owners) {
@@ -103,7 +97,8 @@ ProtocolChecker::sweep(bool quiesced) const
     for (const auto &[addr, cus] : owners) {
         unsigned bank = static_cast<unsigned>(
             (lineAlign(addr) / kLineBytes) % num_nodes);
-        NodeId reg_owner = _sys.denovoBank(bank)->ownerOf(addr);
+        NodeId reg_owner =
+            as<DenovoL2Bank>(_sys.l2Bank(bank))->ownerOf(addr);
         if (reg_owner != static_cast<NodeId>(cus.front())) {
             std::ostringstream os;
             os << "word " << hexWord(addr) << " registered in L1 of cu "
@@ -113,11 +108,12 @@ ProtocolChecker::sweep(bool quiesced) const
         }
     }
     for (unsigned bank = 0; bank < num_nodes; ++bank) {
-        _sys.denovoBank(bank)->forEachRegisteredWord(
-            [&](Addr addr, NodeId owner) {
+        as<DenovoL2Bank>(_sys.l2Bank(bank))
+            ->forEachRegisteredWord([&](Addr addr, NodeId owner) {
                 if (owner >= 0 &&
                     static_cast<unsigned>(owner) < num_cus &&
-                    _sys.denovoL1(static_cast<unsigned>(owner))
+                    as<DenovoL1Cache>(
+                        _sys.l1(static_cast<unsigned>(owner)))
                         ->ownsWord(addr)) {
                     return;
                 }

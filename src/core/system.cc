@@ -9,8 +9,15 @@ namespace nosync
 
 System::System(const SystemConfig &config) : _config(config)
 {
+    if (_config.traceEnabled) {
+        _trace = std::make_unique<trace::TraceSink>(
+            _stats, _config.traceCapacity
+                        ? _config.traceCapacity
+                        : trace::TraceSink::kDefaultCapacity);
+    }
     _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
-    _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh);
+    _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh,
+                                   _trace.get());
     if (_config.faults.enabled) {
         _faults = std::make_unique<FaultInjector>(_config.faults);
         _mesh->setFaultInjector(_faults.get());
@@ -30,12 +37,14 @@ System::System(const SystemConfig &config) : _config(config)
             _denovoBanks.push_back(std::make_unique<DenovoL2Bank>(
                 name, _eq, _stats, *_energy, *_mesh,
                 static_cast<NodeId>(node), _memory, _config.geometry,
-                _config.timings));
+                _config.timings, _trace.get()));
+            _l2Banks.push_back(_denovoBanks.back().get());
         } else {
             _gpuBanks.push_back(std::make_unique<GpuL2Bank>(
                 name, _eq, _stats, *_energy, *_mesh,
                 static_cast<NodeId>(node), _memory, _config.geometry,
-                _config.timings));
+                _config.timings, _trace.get()));
+            _l2Banks.push_back(_gpuBanks.back().get());
         }
     }
 
@@ -50,7 +59,7 @@ System::System(const SystemConfig &config) : _config(config)
                 name, _eq, _stats, *_energy, *_mesh,
                 static_cast<NodeId>(cu), _config.protocol,
                 std::move(banks), _regions, _config.geometry,
-                _config.timings));
+                _config.timings, _trace.get()));
             _l1s.push_back(_denovoL1s.back().get());
         } else {
             std::vector<GpuL2Bank *> banks;
@@ -59,7 +68,8 @@ System::System(const SystemConfig &config) : _config(config)
             _gpuL1s.push_back(std::make_unique<GpuL1Cache>(
                 name, _eq, _stats, *_energy, *_mesh,
                 static_cast<NodeId>(cu), _config.protocol,
-                std::move(banks), _config.geometry, _config.timings));
+                std::move(banks), _config.geometry, _config.timings,
+                _trace.get()));
             _l1s.push_back(_gpuL1s.back().get());
         }
     }
@@ -77,31 +87,6 @@ System::System(const SystemConfig &config) : _config(config)
 }
 
 System::~System() = default;
-
-GpuL1Cache *
-System::gpuL1(unsigned cu)
-{
-    return cu < _gpuL1s.size() ? _gpuL1s[cu].get() : nullptr;
-}
-
-DenovoL1Cache *
-System::denovoL1(unsigned cu)
-{
-    return cu < _denovoL1s.size() ? _denovoL1s[cu].get() : nullptr;
-}
-
-GpuL2Bank *
-System::gpuBank(unsigned bank)
-{
-    return bank < _gpuBanks.size() ? _gpuBanks[bank].get() : nullptr;
-}
-
-DenovoL2Bank *
-System::denovoBank(unsigned bank)
-{
-    return bank < _denovoBanks.size() ? _denovoBanks[bank].get()
-                                      : nullptr;
-}
 
 Addr
 System::alloc(Addr bytes)
@@ -124,19 +109,18 @@ System::debugRead(Addr addr)
     // Coherent whole-hierarchy read: a DeNovo L1 owning the word has
     // the only up-to-date copy; otherwise the home L2 bank (or memory
     // behind it) does.
-    for (auto &l1 : _denovoL1s) {
-        if (l1->ownsWord(addr)) {
+    for (L1Controller *l1 : _l1s) {
+        auto *dl1 = as<DenovoL1Cache>(*l1);
+        if (dl1 != nullptr && dl1->ownsWord(addr)) {
             std::uint32_t value = 0;
-            l1->peekWord(addr, value);
+            dl1->peekWord(addr, value);
             return value;
         }
     }
     std::size_t bank = (lineAlign(addr) / kLineBytes) %
                        _mesh->numNodes();
-    if (!_denovoBanks.empty())
-        return _denovoBanks[bank]->peekWord(addr);
-    if (!_gpuBanks.empty())
-        return _gpuBanks[bank]->peekWord(addr);
+    if (!_l2Banks.empty())
+        return _l2Banks[bank]->peekWord(addr);
     return _memory.readWord(addr);
 }
 
@@ -163,6 +147,18 @@ System::collectMetrics(RunResult &result)
             _mesh->flitCrossings(static_cast<TrafficClass>(c));
     }
     result.trafficTotal = _mesh->totalFlitCrossings();
+
+    if (_trace) {
+        for (std::size_t c = 0; c < trace::kNumTxnClasses; ++c) {
+            auto cls = static_cast<trace::TxnClass>(c);
+            const stats::Distribution &d = _trace->latency(cls);
+            if (d.count() == 0)
+                continue;
+            result.syncLatency.push_back(
+                {trace::txnClassName(cls), d.count(),
+                 d.percentile(0.50), d.percentile(0.95), d.max()});
+        }
+    }
 }
 
 RunResult
@@ -174,17 +170,18 @@ System::run(Workload &workload)
 
     auto host_start = std::chrono::steady_clock::now();
     auto stamp_host = [&](RunResult &r) {
-        r.eventsExecuted = _eq.executed();
-        r.hostMillis = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() -
-                           host_start)
-                           .count();
+        r.host.eventsExecuted = _eq.executed();
+        r.host.millis = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() -
+                            host_start)
+                            .count();
     };
 
     workload.init(*this);
 
     GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
-                     _config.seed, _config.kernelLaunchLatency);
+                     _config.seed, _config.kernelLaunchLatency,
+                     _trace.get());
 
     bool done = false;
     Tick done_tick = 0;
@@ -253,13 +250,9 @@ System::run(Workload &workload)
             if (!snap.quiescent())
                 report.controllers.push_back(std::move(snap));
         };
-        for (auto &l1 : _denovoL1s)
+        for (L1Controller *l1 : _l1s)
             keep_busy(l1->snapshot());
-        for (auto &l1 : _gpuL1s)
-            keep_busy(l1->snapshot());
-        for (auto &bank : _denovoBanks)
-            keep_busy(bank->snapshot());
-        for (auto &bank : _gpuBanks)
+        for (L2Controller *bank : _l2Banks)
             keep_busy(bank->snapshot());
         report.violations = checker.sweepRacy();
 

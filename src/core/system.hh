@@ -20,6 +20,7 @@
 #include "coherence/denovo_l2.hh"
 #include "coherence/gpu_l1.hh"
 #include "coherence/gpu_l2.hh"
+#include "coherence/l2_controller.hh"
 #include "coherence/region_map.hh"
 #include "core/hang_report.hh"
 #include "core/system_config.hh"
@@ -30,6 +31,7 @@
 #include "noc/mesh.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "trace/trace_sink.hh"
 
 namespace nosync
 {
@@ -57,12 +59,36 @@ struct RunResult
     /** Populated when the run ended without workload completion. */
     std::optional<HangReport> hang;
 
-    // Host-side measurement (not part of the simulated result; used
-    // by the BENCH_*.json perf records) ------------------------------
-    /** Wall-clock spent inside System::run, milliseconds. */
-    double hostMillis = 0.0;
-    /** Simulated events executed by this run. */
-    std::uint64_t eventsExecuted = 0;
+    /**
+     * Per-transaction-class latency summary, from the trace sink's
+     * distributions. Empty unless the run was traced; derived purely
+     * from simulated ticks, so it is deterministic like the rest of
+     * the simulated fields.
+     */
+    struct LatencySummary
+    {
+        std::string cls;
+        std::uint64_t count = 0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double max = 0.0;
+    };
+    std::vector<LatencySummary> syncLatency;
+
+    /**
+     * Host-side measurement, fenced off from the simulated result in
+     * its own struct: determinism checks (e.g. the sweep-runner's
+     * serial-vs-parallel identity test) compare the simulated fields
+     * and skip this struct by construction.
+     */
+    struct Host
+    {
+        /** Wall-clock spent inside System::run, milliseconds. */
+        double millis = 0.0;
+        /** Simulated events executed by this run. */
+        std::uint64_t eventsExecuted = 0;
+    };
+    Host host;
 
     bool ok() const { return checkFailures.empty(); }
 };
@@ -103,11 +129,24 @@ class System : public WorkloadEnv
     EnergyModel &energy() { return *_energy; }
     FunctionalMem &memory() { return _memory; }
     RegionMap &regions() { return _regions; }
+
+    /**
+     * Uniform controller access, independent of the configured
+     * protocol. Callers needing a concrete controller type downcast
+     * explicitly with as<T>() (sim/sim_object.hh), which makes the
+     * config dependence visible at the call site:
+     *
+     *     if (auto *l1 = as<DenovoL1Cache>(sys.l1(0))) ...
+     */
     L1Controller &l1(unsigned cu) { return *_l1s.at(cu); }
-    GpuL1Cache *gpuL1(unsigned cu);
-    DenovoL1Cache *denovoL1(unsigned cu);
-    GpuL2Bank *gpuBank(unsigned bank);
-    DenovoL2Bank *denovoBank(unsigned bank);
+    L2Controller &l2Bank(unsigned bank) { return *_l2Banks.at(bank); }
+    unsigned numL2Banks() const
+    {
+        return static_cast<unsigned>(_l2Banks.size());
+    }
+
+    /** Trace sink; nullptr unless config().traceEnabled. */
+    trace::TraceSink *trace() { return _trace.get(); }
 
     /** End of the allocated workload heap (checker memory sweeps). */
     Addr allocTop() const { return _allocNext; }
@@ -120,6 +159,8 @@ class System : public WorkloadEnv
     stats::StatSet _stats;
     FunctionalMem _memory;
     RegionMap _regions;
+    /** Declared before the components that hold pointers into it. */
+    std::unique_ptr<trace::TraceSink> _trace;
     std::unique_ptr<EnergyModel> _energy;
     std::unique_ptr<Mesh> _mesh;
     std::unique_ptr<FaultInjector> _faults;
@@ -129,6 +170,7 @@ class System : public WorkloadEnv
     std::vector<std::unique_ptr<GpuL1Cache>> _gpuL1s;
     std::vector<std::unique_ptr<DenovoL1Cache>> _denovoL1s;
     std::vector<L1Controller *> _l1s;
+    std::vector<L2Controller *> _l2Banks;
 
     Addr _allocNext = kAllocBase;
     bool _ran = false;

@@ -7,6 +7,7 @@
 #ifndef CORE_SYSTEM_CONFIG_HH
 #define CORE_SYSTEM_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "coherence/cache_timings.hh"
@@ -54,6 +55,19 @@ struct SystemConfig
 
     /** Run the full invariant sweep after the workload quiesces. */
     bool checkAtQuiesce = true;
+
+    /**
+     * Transaction tracing: when set, the System constructs a
+     * trace::TraceSink and wires it into every controller, the mesh
+     * and the GPU device. Off by default; the off path never
+     * constructs the sink (a null pointer at every seam), so traced
+     * and untraced builds of the same run produce bitwise-identical
+     * simulated results.
+     */
+    bool traceEnabled = false;
+
+    /** Trace ring capacity in events; 0 uses the sink's default. */
+    std::size_t traceCapacity = 0;
 
     /** Convenience: same machine, different protocol configuration. */
     SystemConfig

@@ -69,9 +69,9 @@ class EnergyModel
   public:
     EnergyModel(stats::StatSet &stats, const EnergyParams &params)
         : _params(params),
-          _energy(stats.vector("energy.dynamic",
-                               "dynamic energy by component (pJ)",
-                               energyComponentNames()))
+          _energy(stats.registerVector(
+              "energy.dynamic", "dynamic energy by component (pJ)",
+              energyComponentNames()))
     {}
 
     const EnergyParams &params() const { return _params; }
@@ -122,20 +122,20 @@ class EnergyModel
     double
     component(EnergyComponent c) const
     {
-        return _energy.value(static_cast<std::size_t>(c));
+        return _energy->value(static_cast<std::size_t>(c));
     }
 
-    double total() const { return _energy.total(); }
+    double total() const { return _energy->total(); }
 
   private:
     void
     add(EnergyComponent c, double pj)
     {
-        _energy.add(static_cast<std::size_t>(c), pj);
+        _energy->add(static_cast<std::size_t>(c), pj);
     }
 
     EnergyParams _params;
-    stats::Vector &_energy;
+    stats::Handle<stats::Vector> _energy;
 };
 
 } // namespace nosync

@@ -1,5 +1,7 @@
 #include "gpu/gpu_device.hh"
 
+#include "trace/trace_sink.hh"
+
 namespace nosync
 {
 
@@ -7,14 +9,16 @@ GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
                      EnergyModel &energy,
                      std::vector<L1Controller *> cu_l1s,
                      Workload &workload, std::uint64_t seed,
-                     Cycles kernel_launch_latency)
+                     Cycles kernel_launch_latency,
+                     trace::TraceSink *trace)
     : SimObject("gpu", eq), _l1s(std::move(cu_l1s)), _energy(energy),
       _workload(workload), _seed(seed),
       _launchLatency(kernel_launch_latency),
-      _kernelsLaunched(stats.scalar("gpu.kernels_launched",
-                                    "kernels launched")),
-      _tbsExecuted(stats.scalar("gpu.tbs_executed",
-                                "thread blocks executed"))
+      _kernelsLaunched(stats.registerScalar("gpu.kernels_launched",
+                                            "kernels launched")),
+      _tbsExecuted(stats.registerScalar("gpu.tbs_executed",
+                                        "thread blocks executed")),
+      _trace(trace)
 {
     panic_if(_l1s.empty(), "GPU device with no compute units");
 }
@@ -35,6 +39,10 @@ GpuDevice::launchKernel()
     ++_kernelsLaunched;
     KernelInfo info = _workload.kernelInfo(_kernel);
     panic_if(info.numTbs == 0, "kernel with zero thread blocks");
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::KernelLaunch, 0, 0, 0,
+                       static_cast<std::uint16_t>(_kernel));
+    }
 
     // Implicit global acquire at kernel launch on every CU.
     for (L1Controller *l1 : _l1s)
@@ -66,7 +74,7 @@ GpuDevice::startTbs()
         _contexts.push_back(std::make_unique<TbContext>(
             eventQueue(), *_l1s[cu], _energy, Rng(tb_seed), _kernel,
             tb, cu, tb_on_cu, num_cus,
-            (info.numTbs + num_cus - 1) / num_cus));
+            (info.numTbs + num_cus - 1) / num_cus, _trace));
     }
 
     // Start after all contexts exist (coroutines may finish
@@ -125,6 +133,10 @@ GpuDevice::onTbDone(unsigned cu)
 void
 GpuDevice::onKernelDrained()
 {
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::KernelDrain, 0, 0, 0,
+                       static_cast<std::uint16_t>(_kernel));
+    }
     _contexts.clear();
     ++_kernel;
     if (_kernel < _workload.numKernels()) {

@@ -33,7 +33,8 @@ class GpuDevice : public SimObject
     GpuDevice(EventQueue &eq, stats::StatSet &stats,
               EnergyModel &energy,
               std::vector<L1Controller *> cu_l1s, Workload &workload,
-              std::uint64_t seed, Cycles kernel_launch_latency = 300);
+              std::uint64_t seed, Cycles kernel_launch_latency = 300,
+              trace::TraceSink *trace = nullptr);
 
     /** Run every kernel; @p on_complete fires after the last drain. */
     void run(DoneCallback on_complete);
@@ -65,8 +66,10 @@ class GpuDevice : public SimObject
     std::vector<std::unique_ptr<TbContext>> _contexts;
     DoneCallback _onComplete;
 
-    stats::Scalar &_kernelsLaunched;
-    stats::Scalar &_tbsExecuted;
+    stats::Handle<stats::Scalar> _kernelsLaunched;
+    stats::Handle<stats::Scalar> _tbsExecuted;
+    /** Observability sink; nullptr when tracing is disabled. */
+    trace::TraceSink *_trace = nullptr;
 };
 
 } // namespace nosync

@@ -22,6 +22,7 @@
 #include "gpu/sim_task.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "trace/trace_sink.hh"
 
 namespace nosync
 {
@@ -33,10 +34,11 @@ class TbContext
     TbContext(EventQueue &eq, L1Controller &l1, EnergyModel &energy,
               Rng rng, unsigned kernel, unsigned tb_global,
               unsigned cu, unsigned tb_on_cu, unsigned num_cus,
-              unsigned tbs_per_cu)
+              unsigned tbs_per_cu, trace::TraceSink *trace = nullptr)
         : _eq(eq), _l1(l1), _energy(energy), _rng(rng),
           _kernel(kernel), _tbGlobal(tb_global), _cu(cu),
-          _tbOnCu(tb_on_cu), _numCus(num_cus), _tbsPerCu(tbs_per_cu)
+          _tbOnCu(tb_on_cu), _numCus(num_cus), _tbsPerCu(tbs_per_cu),
+          _trace(trace)
     {}
 
     unsigned kernel() const { return _kernel; }
@@ -48,6 +50,54 @@ class TbContext
     Rng &rng() { return _rng; }
     L1Controller &l1() { return _l1; }
     Tick now() const { return _eq.now(); }
+
+    // Transaction tracing ---------------------------------------------
+
+    /**
+     * Open a traced transaction for an access this TB issues now.
+     * Returns 0 when tracing is disabled; endTxn(0) is a no-op, so
+     * awaitables call the pair unconditionally.
+     */
+    std::uint64_t
+    beginTxn(trace::TxnClass cls, Addr addr)
+    {
+        if (!_trace)
+            return 0;
+        return _trace->beginTxn(cls, _eq.now(),
+                                static_cast<NodeId>(_cu), addr);
+    }
+
+    /** Close a traced transaction opened by beginTxn(). */
+    void
+    endTxn(std::uint64_t txn)
+    {
+        if (txn != 0)
+            _trace->endTxn(txn, _eq.now());
+    }
+
+    /** Record a sync-point instant at this TB's CU (tracing on). */
+    void
+    recordSync(trace::Phase phase, const SyncOp &op)
+    {
+        _trace->record(_eq.now(), phase, static_cast<NodeId>(_cu),
+                       op.addr, 0,
+                       op.scope == Scope::Local ? 0 : 1);
+    }
+
+    /** Latency class of a synchronization access. */
+    static trace::TxnClass
+    syncClass(const SyncOp &op)
+    {
+        switch (op.sem) {
+          case SyncSemantics::Acquire:
+            return trace::TxnClass::SyncAcquire;
+          case SyncSemantics::Release:
+            return trace::TxnClass::SyncRelease;
+          case SyncSemantics::AcquireRelease:
+            break;
+        }
+        return trace::TxnClass::SyncAcqRel;
+    }
 
     // Wait-state tracking (hang diagnostics) --------------------------
 
@@ -95,6 +145,7 @@ class TbContext
             TbContext *ctx;
             Addr addr;
             std::uint32_t value = 0;
+            std::uint64_t txn = 0;
 
             bool await_ready() { return false; }
 
@@ -102,8 +153,10 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait("load " + describeAddr(addr));
+                txn = ctx->beginTxn(trace::TxnClass::Load, addr);
                 ctx->_l1.load(addr, [this, h](std::uint32_t v) {
                     value = v;
+                    ctx->endTxn(txn);
                     ctx->endWait();
                     h.resume();
                 });
@@ -124,6 +177,7 @@ class TbContext
             std::vector<Addr> addrs;
             std::vector<std::uint32_t> values;
             unsigned remaining = 0;
+            std::uint64_t txn = 0;
 
             bool await_ready() { return addrs.empty(); }
 
@@ -133,6 +187,10 @@ class TbContext
                 ctx->beginWait(
                     "loadMany of " + std::to_string(addrs.size()) +
                     " words at " + describeAddr(addrs.front()));
+                // One transaction spans the whole coalesced batch:
+                // its latency is the slowest constituent load.
+                txn = ctx->beginTxn(trace::TxnClass::Load,
+                                    addrs.front());
                 values.assign(addrs.size(), 0);
                 remaining = static_cast<unsigned>(addrs.size());
                 for (std::size_t i = 0; i < addrs.size(); ++i) {
@@ -140,6 +198,7 @@ class TbContext
                                   [this, i, h](std::uint32_t v) {
                                       values[i] = v;
                                       if (--remaining == 0) {
+                                          ctx->endTxn(txn);
                                           ctx->endWait();
                                           h.resume();
                                       }
@@ -165,6 +224,7 @@ class TbContext
             TbContext *ctx;
             std::vector<std::pair<Addr, std::uint32_t>> stores;
             unsigned remaining = 0;
+            std::uint64_t txn = 0;
 
             bool await_ready() { return stores.empty(); }
 
@@ -174,10 +234,13 @@ class TbContext
                 ctx->beginWait(
                     "storeMany of " + std::to_string(stores.size()) +
                     " words at " + describeAddr(stores.front().first));
+                txn = ctx->beginTxn(trace::TxnClass::Store,
+                                    stores.front().first);
                 remaining = static_cast<unsigned>(stores.size());
                 for (const auto &[addr, value] : stores) {
                     ctx->_l1.store(addr, value, [this, h] {
                         if (--remaining == 0) {
+                            ctx->endTxn(txn);
                             ctx->endWait();
                             h.resume();
                         }
@@ -199,6 +262,7 @@ class TbContext
             TbContext *ctx;
             Addr addr;
             std::uint32_t value;
+            std::uint64_t txn = 0;
 
             bool await_ready() { return false; }
 
@@ -206,7 +270,9 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait("store " + describeAddr(addr));
+                txn = ctx->beginTxn(trace::TxnClass::Store, addr);
                 ctx->_l1.store(addr, value, [this, h] {
+                    ctx->endTxn(txn);
                     ctx->endWait();
                     h.resume();
                 });
@@ -226,6 +292,7 @@ class TbContext
             TbContext *ctx;
             SyncOp op;
             std::uint32_t value = 0;
+            std::uint64_t txn = 0;
 
             bool await_ready() { return false; }
 
@@ -233,8 +300,18 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait(describeSync(op));
+                if (ctx->_trace) {
+                    txn = ctx->beginTxn(syncClass(op), op.addr);
+                    if (op.isAcquire())
+                        ctx->recordSync(trace::Phase::TbSyncAcquire,
+                                        op);
+                    if (op.isRelease())
+                        ctx->recordSync(trace::Phase::TbSyncRelease,
+                                        op);
+                }
                 ctx->_l1.sync(op, [this, h](std::uint32_t v) {
                     value = v;
+                    ctx->endTxn(txn);
                     ctx->endWait();
                     h.resume();
                 });
@@ -386,6 +463,8 @@ class TbContext
     unsigned _tbOnCu;
     unsigned _numCus;
     unsigned _tbsPerCu;
+    /** Observability sink; nullptr when tracing is disabled. */
+    trace::TraceSink *_trace = nullptr;
 
     // Wait-state tracking for hang diagnostics.
     std::string _waitWhat;

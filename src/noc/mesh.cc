@@ -3,18 +3,21 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "trace/trace_sink.hh"
+
 namespace nosync
 {
 
 Mesh::Mesh(EventQueue &eq, stats::StatSet &stats,
-           const MeshParams &params)
+           const MeshParams &params, trace::TraceSink *trace)
     : SimObject("mesh", eq), _params(params),
-      _flitCrossings(stats.vector("noc.flit_crossings",
-                                  "flit-link crossings by class",
-                                  trafficClassNames())),
-      _messages(stats.vector("noc.messages",
-                             "messages injected by class",
-                             trafficClassNames()))
+      _flitCrossings(stats.registerVector(
+          "noc.flit_crossings", "flit-link crossings by class",
+          trafficClassNames())),
+      _messages(stats.registerVector("noc.messages",
+                                     "messages injected by class",
+                                     trafficClassNames())),
+      _trace(trace)
 {
     // Each node has up to 4 outgoing links; index = node * 4 + dir.
     _linkFree.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
@@ -95,6 +98,11 @@ void
 Mesh::deliverSlot(std::uint32_t slot)
 {
     InFlightRecord &rec = _records[slot];
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::FlitDeliver,
+                       rec.msg.dst, 0, 0,
+                       static_cast<std::uint16_t>(rec.msg.flits));
+    }
     // Move the closure out before running it: delivery may send new
     // messages, growing the slab and recycling this very slot.
     DeliverFn fn = std::move(rec.deliver);
@@ -139,7 +147,11 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
                  static_cast<unsigned>(dst) >= numNodes(),
              "mesh.send with bad endpoints ", src, " -> ", dst);
     auto cls_idx = static_cast<std::size_t>(cls);
-    _messages.add(cls_idx);
+    _messages->add(cls_idx);
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::FlitEnqueue, src, 0,
+                       0, static_cast<std::uint16_t>(flits));
+    }
 
     unsigned num_hops = 0;
     Tick t;
@@ -150,8 +162,8 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
         std::size_t pair = static_cast<std::size_t>(src) * numNodes() +
                            static_cast<std::size_t>(dst);
         num_hops = _hopTable[pair];
-        _flitCrossings.add(cls_idx,
-                           static_cast<double>(flits) * num_hops);
+        _flitCrossings->add(cls_idx,
+                            static_cast<double>(flits) * num_hops);
 
         // Walk the precomputed XY route accumulating serialization
         // and queueing delay on every link crossed.
@@ -173,9 +185,10 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
             // duplicate never overtakes the original).
             Tick dup_t = _faults->adjust(
                 src, dst, t + _faults->duplicateDelay());
-            _messages.add(cls_idx);
-            _flitCrossings.add(cls_idx,
-                               static_cast<double>(flits) * num_hops);
+            _messages->add(cls_idx);
+            _flitCrossings->add(cls_idx,
+                                static_cast<double>(flits) *
+                                    num_hops);
             scheduleDelivery(dup_t, src, dst, cls, flits, deliver,
                              true);
         }
@@ -198,13 +211,13 @@ Mesh::uncontendedLatency(NodeId src, NodeId dst, unsigned flits) const
 double
 Mesh::flitCrossings(TrafficClass cls) const
 {
-    return _flitCrossings.value(static_cast<std::size_t>(cls));
+    return _flitCrossings->value(static_cast<std::size_t>(cls));
 }
 
 double
 Mesh::totalFlitCrossings() const
 {
-    return _flitCrossings.total();
+    return _flitCrossings->total();
 }
 
 std::vector<InFlightMsg>

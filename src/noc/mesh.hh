@@ -34,6 +34,11 @@
 namespace nosync
 {
 
+namespace trace
+{
+class TraceSink;
+}
+
 /**
  * Delivery action run at a message's destination. Sized so every
  * protocol closure in the tree — including the line-data-carrying
@@ -70,7 +75,8 @@ class Mesh : public SimObject
 {
   public:
     Mesh(EventQueue &eq, stats::StatSet &stats,
-         const MeshParams &params = MeshParams{});
+         const MeshParams &params = MeshParams{},
+         trace::TraceSink *trace = nullptr);
 
     unsigned numNodes() const { return _params.width * _params.height; }
 
@@ -165,8 +171,10 @@ class Mesh : public SimObject
     std::size_t _liveMsgs = 0;
     std::uint64_t _nextMsgId = 0;
 
-    stats::Vector &_flitCrossings;
-    stats::Vector &_messages;
+    stats::Handle<stats::Vector> _flitCrossings;
+    stats::Handle<stats::Vector> _messages;
+    /** Observability sink; nullptr when tracing is disabled. */
+    trace::TraceSink *_trace = nullptr;
 };
 
 } // namespace nosync

@@ -19,8 +19,8 @@ SweepRecord::writeJson(const std::string &path) const
     double total_host_ms = 0.0;
     std::uint64_t total_events = 0;
     for (const auto &cell : cells) {
-        total_host_ms += cell.result.hostMillis;
-        total_events += cell.result.eventsExecuted;
+        total_host_ms += cell.result.host.millis;
+        total_events += cell.result.host.eventsExecuted;
     }
 
     JsonWriter json(os);
@@ -55,12 +55,24 @@ SweepRecord::writeJson(const std::string &path) const
         for (std::size_t c = 0; c < kNumTrafficClasses; ++c)
             json.key(trafficClassNames()[c]).value(r.traffic[c]);
         json.endObject();
-        json.key("host_ms").value(r.hostMillis);
-        json.key("events").value(r.eventsExecuted);
+        if (!r.syncLatency.empty()) {
+            json.key("latency").beginObject();
+            for (const auto &lat : r.syncLatency) {
+                json.key(lat.cls).beginObject();
+                json.key("count").value(lat.count);
+                json.key("p50").value(lat.p50);
+                json.key("p95").value(lat.p95);
+                json.key("max").value(lat.max);
+                json.endObject();
+            }
+            json.endObject();
+        }
+        json.key("host_ms").value(r.host.millis);
+        json.key("events").value(r.host.eventsExecuted);
         json.key("events_per_sec")
-            .value(r.hostMillis > 0.0
-                       ? static_cast<double>(r.eventsExecuted) *
-                             1000.0 / r.hostMillis
+            .value(r.host.millis > 0.0
+                       ? static_cast<double>(r.host.eventsExecuted) *
+                             1000.0 / r.host.millis
                        : 0.0);
         json.key("ok").value(r.ok());
         json.endObject();

@@ -51,6 +51,26 @@ class SimObject
     EventQueue &_eq;
 };
 
+/**
+ * Downcast a component reached through an interface reference to its
+ * concrete type; nullptr when the component is a different flavour.
+ * The explicit spelling (`as<DenovoL1Cache>(sys.l1(0))`) marks every
+ * place that depends on a specific protocol configuration.
+ */
+template <typename T>
+T *
+as(SimObject &obj)
+{
+    return dynamic_cast<T *>(&obj);
+}
+
+template <typename T>
+const T *
+as(const SimObject &obj)
+{
+    return dynamic_cast<const T *>(&obj);
+}
+
 } // namespace nosync
 
 #endif // SIM_SIM_OBJECT_HH

@@ -2,15 +2,19 @@
  * @file
  * Lightweight statistics package.
  *
- * Components create named Scalar / Vector statistics inside a StatSet
- * registry. The registry can dump a sorted human-readable report and
- * supports programmatic lookup, which the benchmark harnesses use to
- * regenerate the paper's figures.
+ * Components register named Scalar / Vector / Distribution statistics
+ * inside a StatSet registry and keep the returned typed Handle<T> for
+ * hot-path updates — no string lookup ever happens after
+ * construction. The registry can dump a sorted human-readable report
+ * and supports programmatic lookup via find(), which distinguishes an
+ * absent statistic (nullptr) from one whose value is zero.
  */
 
 #ifndef SIM_STATS_HH
 #define SIM_STATS_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -77,6 +81,17 @@ class Vector
 
     double value(std::size_t i) const { return _values[i]; }
 
+    /** Index of @p subname, or -1 when no such entry exists. */
+    int
+    indexOf(const std::string &subname) const
+    {
+        for (std::size_t i = 0; i < _subnames.size(); ++i) {
+            if (_subnames[i] == subname)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
     double
     total() const
     {
@@ -97,14 +112,143 @@ class Vector
 };
 
 /**
+ * A named sample distribution: count / sum / min / max plus log2
+ * buckets, from which percentiles are estimated.
+ *
+ * Bucket b holds samples in [2^(b-1), 2^b); bucket 0 holds samples
+ * below 1. Percentile estimates interpolate linearly within the
+ * containing bucket and are clamped to the observed [min, max], so
+ * p100 == max exactly and single-sample distributions report that
+ * sample for every percentile.
+ */
+class Distribution
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    Distribution(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t bucket(std::size_t b) const { return _buckets[b]; }
+
+    void
+    sample(double v)
+    {
+        if (!_count || v < _min)
+            _min = v;
+        if (!_count || v > _max)
+            _max = v;
+        ++_count;
+        _sum += v;
+        ++_buckets[bucketOf(v)];
+    }
+
+    /** Estimate the @p p'th quantile, p in [0, 1]. */
+    double percentile(double p) const;
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _min = _max = 0.0;
+        _buckets.fill(0);
+    }
+
+  private:
+    static std::size_t
+    bucketOf(double v)
+    {
+        if (v < 1.0)
+            return 0;
+        auto n = static_cast<std::uint64_t>(v);
+        return std::min<std::size_t>(kBuckets - 1, std::bit_width(n));
+    }
+
+    std::string _name;
+    std::string _desc;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::array<std::uint64_t, kBuckets> _buckets{};
+};
+
+/**
+ * Typed reference to a registered statistic.
+ *
+ * Handles are what components cache at construction and update on the
+ * hot path; they are trivially copyable and never dangle before their
+ * owning StatSet is destroyed (statistics are never deregistered).
+ * A default-constructed handle is empty and must not be dereferenced.
+ *
+ * Scalar-style update operators pass through, so `++h` and `h += v`
+ * work on Handle<Scalar> exactly as they do on Scalar&.
+ */
+template <typename T>
+class Handle
+{
+  public:
+    Handle() = default;
+    explicit Handle(T &stat) : _stat(&stat) {}
+
+    explicit operator bool() const { return _stat != nullptr; }
+    T &operator*() const { return *_stat; }
+    T *operator->() const { return _stat; }
+
+    Handle &
+    operator++()
+        requires requires(T t) { ++t; }
+    {
+        ++*_stat;
+        return *this;
+    }
+
+    Handle &
+    operator+=(double v)
+        requires requires(T t) { t += v; }
+    {
+        *_stat += v;
+        return *this;
+    }
+
+  private:
+    T *_stat = nullptr;
+};
+
+/**
  * Registry of statistics, typically one per simulated System.
  *
- * Statistics are owned by the set and handed out as references so that
- * components can update them without lookup cost on the hot path.
+ * Statistics are owned by the set and handed out as typed handles so
+ * that components can update them without lookup cost on the hot
+ * path. Registration is create-or-retrieve: registering the same name
+ * twice yields a handle to the same statistic (a Vector re-registered
+ * with a different shape panics).
  */
 class StatSet
 {
   public:
+    /** Register (or retrieve) a scalar statistic. */
+    Handle<Scalar> registerScalar(const std::string &name,
+                                  const std::string &desc);
+
+    /** Register (or retrieve) a vector statistic. */
+    Handle<Vector>
+    registerVector(const std::string &name, const std::string &desc,
+                   const std::vector<std::string> &subnames);
+
+    /** Register (or retrieve) a distribution statistic. */
+    Handle<Distribution> registerDistribution(const std::string &name,
+                                              const std::string &desc);
+
     /** Create (or retrieve an identically named) scalar statistic. */
     Scalar &scalar(const std::string &name, const std::string &desc);
 
@@ -112,10 +256,32 @@ class StatSet
     Vector &vector(const std::string &name, const std::string &desc,
                    const std::vector<std::string> &subnames);
 
-    /** Look up a scalar's value; returns 0 when absent. */
+    /**
+     * Look up a scalar; nullptr when absent. Unlike the deprecated
+     * get(), a caller can tell "never registered" (a typo'd name)
+     * from "registered but zero".
+     */
+    const Scalar *find(const std::string &name) const;
+
+    /** Look up a vector; nullptr when absent. */
+    const Vector *findVector(const std::string &name) const;
+
+    /** Look up a distribution; nullptr when absent. */
+    const Distribution *findDistribution(const std::string &name) const;
+
+    /**
+     * Look up a scalar's value; returns 0 when absent.
+     * @deprecated use find() — a return of 0.0 is ambiguous between
+     * a zero-valued statistic and a typo'd name.
+     */
+    [[deprecated("use find(); 0.0 is ambiguous for absent stats")]]
     double get(const std::string &name) const;
 
-    /** Look up one entry of a vector by "name::subname" convention. */
+    /**
+     * Look up one entry of a vector by "name::subname" convention.
+     * @deprecated use findVector() + Vector::indexOf().
+     */
+    [[deprecated("use findVector() + indexOf()")]]
     double getVec(const std::string &name,
                   const std::string &subname) const;
 
@@ -128,6 +294,7 @@ class StatSet
   private:
     std::map<std::string, std::unique_ptr<Scalar>> _scalars;
     std::map<std::string, std::unique_ptr<Vector>> _vectors;
+    std::map<std::string, std::unique_ptr<Distribution>> _dists;
 };
 
 } // namespace stats

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Binary trace event model.
+ *
+ * A TraceEvent is a fixed-size POD record of one protocol action at
+ * one tick — cheap enough to append to a slab buffer on the simulator
+ * hot path. Events carry a phase (which protocol seam fired), the
+ * node it fired on, the line/word address involved, and optionally
+ * the id of the issuing transaction (0 = unattributed: protocol-level
+ * events triggered by asynchronous message arrival do not know which
+ * thread-block access caused them; the address is the correlation
+ * key there).
+ */
+
+#ifndef TRACE_TRACE_EVENT_HH
+#define TRACE_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/types.hh"
+
+namespace nosync
+{
+namespace trace
+{
+
+/** Which protocol seam emitted an event. */
+enum class Phase : std::uint16_t
+{
+    /// L1 issued a read for missing words to the home L2 bank.
+    L1MissIssue = 0,
+    /// DeNovo L1 issued an ownership registration to the home bank.
+    L1RegIssue,
+    /// DeNovo L1 received a registration ack (ownership granted).
+    L1RegAck,
+    /// L1 wrote a line (ownership writeback / recall data) to L2.
+    L1WritebackIssue,
+    /// GPU L1 sent a writethrough group toward the home bank.
+    L1WriteThrough,
+    /// L2 bank served a read (from its array or after a DRAM fetch).
+    L2ReadServe,
+    /// L2 bank changed a word's registered owner.
+    L2OwnerChange,
+    /// L2 bank forwarded a request to the current L1 owner.
+    L2Forward,
+    /// L2 bank merged a writethrough into its array.
+    L2WriteThrough,
+    /// L2 bank executed an atomic at the bank.
+    L2Atomic,
+    /// Mesh accepted a message (aux = flit count).
+    FlitEnqueue,
+    /// Mesh delivered a message at its destination.
+    FlitDeliver,
+    /// A thread block issued an acquire-flavoured sync access.
+    TbSyncAcquire,
+    /// A thread block issued a release-flavoured sync access.
+    TbSyncRelease,
+    /// The device launched a kernel (aux = kernel index).
+    KernelLaunch,
+    /// All thread blocks of the current kernel drained.
+    KernelDrain,
+    NumPhases,
+};
+
+constexpr std::size_t kNumPhases =
+    static_cast<std::size_t>(Phase::NumPhases);
+
+/** Stable display name for a phase (no spaces; JSON-safe). */
+const char *phaseName(Phase phase);
+
+/**
+ * Latency class of a tracked transaction: one thread-block memory
+ * access from issue to completion callback.
+ */
+enum class TxnClass : std::uint8_t
+{
+    Load = 0,
+    Store,
+    SyncAcquire,
+    SyncRelease,
+    SyncAcqRel,
+    NumClasses,
+};
+
+constexpr std::size_t kNumTxnClasses =
+    static_cast<std::size_t>(TxnClass::NumClasses);
+
+/** Stable display name for a transaction class (JSON-safe). */
+const char *txnClassName(TxnClass cls);
+
+/** One protocol action. POD by design: slab-buffered in bulk. */
+struct TraceEvent
+{
+    Tick tick;         ///< when the seam fired
+    std::uint64_t txn; ///< issuing transaction id, 0 = unattributed
+    Addr addr;         ///< line or word address involved
+    std::int32_t node; ///< mesh node the seam fired on
+    Phase phase;       ///< which seam
+    std::uint16_t aux; ///< phase-specific payload (flits, kernel, ...)
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay POD: it is slab-buffered");
+static_assert(sizeof(TraceEvent) == 32,
+              "TraceEvent packing changed; check slab sizing");
+
+} // namespace trace
+} // namespace nosync
+
+#endif // TRACE_TRACE_EVENT_HH

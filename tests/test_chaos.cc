@@ -189,9 +189,9 @@ TEST(ChaosChecker, CatchesDoubleRegistration)
 {
     System system(faultedConfig(ProtocolConfig::dd(), 0));
     Addr addr = 0x10000;
-    system.denovoL1(0)->debugCorruptWordState(addr,
+    as<DenovoL1Cache>(system.l1(0))->debugCorruptWordState(addr,
                                               WordState::Registered);
-    system.denovoL1(1)->debugCorruptWordState(addr,
+    as<DenovoL1Cache>(system.l1(1))->debugCorruptWordState(addr,
                                               WordState::Registered);
 
     auto violations = ProtocolChecker(system).sweepRacy();
@@ -207,7 +207,7 @@ TEST(ChaosChecker, CatchesBogusRegistryOwner)
 {
     System system(faultedConfig(ProtocolConfig::dd(), 0));
     Addr addr = 0x10000; // line 0x10000 homes at bank 0
-    system.denovoBank(0)->debugSetOwner(addr, 120);
+    as<DenovoL2Bank>(system.l2Bank(0))->debugSetOwner(addr, 120);
 
     auto violations = ProtocolChecker(system).sweepRacy();
     ASSERT_FALSE(violations.empty())
@@ -223,7 +223,7 @@ TEST(ChaosChecker, CatchesRegistryL1Disagreement)
     System system(faultedConfig(ProtocolConfig::dd(), 0));
     Addr addr = 0x10000;
     // Registry claims cu 0 owns the word, but cu 0's L1 does not.
-    system.denovoBank(0)->debugSetOwner(addr, 0);
+    as<DenovoL2Bank>(system.l2Bank(0))->debugSetOwner(addr, 0);
 
     ProtocolChecker checker(system);
     // Legal mid-run (the L2 records the new owner before the L1's
@@ -246,7 +246,7 @@ TEST(ChaosChecker, CatchesLeakedStateAtQuiesce)
     // about is both an agreement violation and, symmetrically, the
     // L1-side "leak" shape the quiesce sweep exists for.
     Addr addr = 0x10040;
-    system.denovoL1(2)->debugCorruptWordState(addr,
+    as<DenovoL1Cache>(system.l1(2))->debugCorruptWordState(addr,
                                               WordState::Registered);
 
     auto violations = ProtocolChecker(system).sweepQuiesced();
@@ -265,9 +265,9 @@ TEST(ChaosChecker, CorruptionAfterRealRunIsCaught)
     System system(faultedConfig(ProtocolConfig::dd(), 0));
     ASSERT_TRUE(system.run(*workload).ok());
 
-    system.denovoL1(0)->debugCorruptWordState(0x10000,
+    as<DenovoL1Cache>(system.l1(0))->debugCorruptWordState(0x10000,
                                               WordState::Registered);
-    system.denovoL1(3)->debugCorruptWordState(0x10000,
+    as<DenovoL1Cache>(system.l1(3))->debugCorruptWordState(0x10000,
                                               WordState::Registered);
     EXPECT_FALSE(ProtocolChecker(system).sweepRacy().empty());
 }

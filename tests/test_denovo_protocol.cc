@@ -61,10 +61,10 @@ TEST(DenovoProtocol, DrainRegistersWrittenWords)
 {
     System sys(ddConfig());
     doStore(sys, 0, kData, 5);
-    EXPECT_FALSE(sys.denovoL1(0)->ownsWord(kData));
+    EXPECT_FALSE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
     doDrain(sys, 0);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kData));
-    EXPECT_EQ(sys.denovoBank(bankOf(kData))->ownerOf(kData), 0);
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
+    EXPECT_EQ(as<DenovoL2Bank>(sys.l2Bank(bankOf(kData)))->ownerOf(kData), 0);
 }
 
 TEST(DenovoProtocol, RegisteredStoreSkipsStoreBuffer)
@@ -72,11 +72,11 @@ TEST(DenovoProtocol, RegisteredStoreSkipsStoreBuffer)
     System sys(ddConfig());
     doStore(sys, 0, kData, 5);
     doDrain(sys, 0);
-    double buffered = sys.stats().get("l1.0.store_buffered");
+    double buffered = sys.stats().find("l1.0.store_buffered")->value();
     doStore(sys, 0, kData, 6);
     // The second store completed in the L1 without a buffer slot.
-    EXPECT_EQ(sys.stats().get("l1.0.store_buffered"), buffered);
-    EXPECT_GE(sys.stats().get("l1.0.store_hits"), 1.0);
+    EXPECT_EQ(sys.stats().find("l1.0.store_buffered")->value(), buffered);
+    EXPECT_GE(sys.stats().find("l1.0.store_hits")->value(), 1.0);
     EXPECT_EQ(doLoad(sys, 0, kData), 6u);
 }
 
@@ -87,9 +87,9 @@ TEST(DenovoProtocol, RemoteL1ReadForwarded)
     doDrain(sys, 0);
     // CU 1's read is forwarded to CU 0, which keeps ownership.
     EXPECT_EQ(doLoad(sys, 1, kData), 88u);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kData));
-    EXPECT_FALSE(sys.denovoL1(1)->ownsWord(kData));
-    EXPECT_GE(sys.stats().get("l1.0.remote_reads_served"), 1.0);
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
+    EXPECT_FALSE(as<DenovoL1Cache>(sys.l1(1))->ownsWord(kData));
+    EXPECT_GE(sys.stats().find("l1.0.remote_reads_served")->value(), 1.0);
 }
 
 TEST(DenovoProtocol, OwnershipMovesWithRemoteWrite)
@@ -99,10 +99,10 @@ TEST(DenovoProtocol, OwnershipMovesWithRemoteWrite)
     doDrain(sys, 0);
     doStore(sys, 1, kData, 2);
     doDrain(sys, 1);
-    EXPECT_TRUE(sys.denovoL1(1)->ownsWord(kData));
-    EXPECT_FALSE(sys.denovoL1(0)->ownsWord(kData));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(1))->ownsWord(kData));
+    EXPECT_FALSE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
     EXPECT_EQ(sys.debugRead(kData), 2u);
-    EXPECT_GE(sys.stats().get("l1.0.ownership_transfers"), 1.0);
+    EXPECT_GE(sys.stats().find("l1.0.ownership_transfers")->value(), 1.0);
 }
 
 TEST(DenovoProtocol, SyncRegistersAndHitsLocally)
@@ -110,11 +110,11 @@ TEST(DenovoProtocol, SyncRegistersAndHitsLocally)
     System sys(ddConfig());
     EXPECT_EQ(doSync(sys, 0, makeSync(AtomicFunc::FetchAdd, kLock, 1)),
               0u);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kLock));
-    double hits_before = sys.stats().get("l1.0.sync_hits");
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kLock));
+    double hits_before = sys.stats().find("l1.0.sync_hits")->value();
     EXPECT_EQ(doSync(sys, 0, makeSync(AtomicFunc::FetchAdd, kLock, 1)),
               1u);
-    EXPECT_GT(sys.stats().get("l1.0.sync_hits"), hits_before);
+    EXPECT_GT(sys.stats().find("l1.0.sync_hits")->value(), hits_before);
 }
 
 TEST(DenovoProtocol, SyncOwnershipChainsAcrossCus)
@@ -135,17 +135,17 @@ TEST(DenovoProtocol, AcquireKeepsRegisteredInvalidatesValid)
     doStore(sys, 0, kData, 1); // word 0: will be registered
     doDrain(sys, 0);
     doLoad(sys, 0, kData + 4); // word 1: Valid only
-    EXPECT_EQ(sys.denovoL1(0)->wordState(kData),
+    EXPECT_EQ(as<DenovoL1Cache>(sys.l1(0))->wordState(kData),
               WordState::Registered);
-    EXPECT_EQ(sys.denovoL1(0)->wordState(kData + 4),
+    EXPECT_EQ(as<DenovoL1Cache>(sys.l1(0))->wordState(kData + 4),
               WordState::Valid);
 
     doSync(sys, 0,
            makeSync(AtomicFunc::Load, kLock, 0, 0, Scope::Global,
                     SyncSemantics::Acquire));
-    EXPECT_EQ(sys.denovoL1(0)->wordState(kData),
+    EXPECT_EQ(as<DenovoL1Cache>(sys.l1(0))->wordState(kData),
               WordState::Registered);
-    EXPECT_EQ(sys.denovoL1(0)->wordState(kData + 4),
+    EXPECT_EQ(as<DenovoL1Cache>(sys.l1(0))->wordState(kData + 4),
               WordState::Invalid);
 }
 
@@ -158,10 +158,10 @@ TEST(DenovoProtocol, ReadOnlyRegionSurvivesAcquire)
     doSync(sys, 0,
            makeSync(AtomicFunc::Load, kLock, 0, 0, Scope::Global,
                     SyncSemantics::Acquire));
-    EXPECT_EQ(sys.denovoL1(0)->wordState(kData), WordState::Valid);
-    double misses = sys.stats().get("l1.0.load_misses");
+    EXPECT_EQ(as<DenovoL1Cache>(sys.l1(0))->wordState(kData), WordState::Valid);
+    double misses = sys.stats().find("l1.0.load_misses")->value();
     EXPECT_EQ(doLoad(sys, 0, kData), 17u);
-    EXPECT_EQ(sys.stats().get("l1.0.load_misses"), misses);
+    EXPECT_EQ(sys.stats().find("l1.0.load_misses")->value(), misses);
 }
 
 TEST(DenovoProtocol, PlainDdRefetchesReadOnlyAfterAcquire)
@@ -173,9 +173,9 @@ TEST(DenovoProtocol, PlainDdRefetchesReadOnlyAfterAcquire)
     doSync(sys, 0,
            makeSync(AtomicFunc::Load, kLock, 0, 0, Scope::Global,
                     SyncSemantics::Acquire));
-    double misses = sys.stats().get("l1.0.load_misses");
+    double misses = sys.stats().find("l1.0.load_misses")->value();
     EXPECT_EQ(doLoad(sys, 0, kData), 17u);
-    EXPECT_GT(sys.stats().get("l1.0.load_misses"), misses);
+    EXPECT_GT(sys.stats().find("l1.0.load_misses")->value(), misses);
 }
 
 TEST(DenovoProtocol, MessagePassingBetweenCus)
@@ -200,10 +200,10 @@ TEST(DenovoProtocol, WrittenDataReusedAcrossAcquires)
     doSync(sys, 0,
            makeSync(AtomicFunc::Load, kLock, 0, 0, Scope::Global,
                     SyncSemantics::Acquire));
-    double misses = sys.stats().get("l1.0.load_misses");
+    double misses = sys.stats().find("l1.0.load_misses")->value();
     // Registered data survives the acquire: no miss.
     EXPECT_EQ(doLoad(sys, 0, kData), 5u);
-    EXPECT_EQ(sys.stats().get("l1.0.load_misses"), misses);
+    EXPECT_EQ(sys.stats().find("l1.0.load_misses")->value(), misses);
 }
 
 TEST(DenovoProtocol, EvictionWritesRegisteredWordsBack)
@@ -214,13 +214,13 @@ TEST(DenovoProtocol, EvictionWritesRegisteredWordsBack)
     System sys(config);
     doStore(sys, 0, kData, 64);
     doDrain(sys, 0);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kData));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
     // March conflicting lines through the set.
     for (unsigned i = 1; i <= 8; ++i)
         doLoad(sys, 0, kData + i * 0x100);
     drainEvents(sys);
     // Ownership returned to the registry with the data.
-    EXPECT_FALSE(sys.denovoL1(0)->ownsWord(kData));
+    EXPECT_FALSE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
     EXPECT_EQ(sys.debugRead(kData), 64u);
     // A remote reader sees the value from the L2.
     EXPECT_EQ(doLoad(sys, 1, kData), 64u);
@@ -243,7 +243,7 @@ TEST(DenovoProtocol, RegistryRecallOnL2Eviction)
     }
     EXPECT_EQ(doLoad(sys, 5, base + 16 * stride), 0u);
     drainEvents(sys);
-    EXPECT_GE(sys.stats().get("l2b0.recalls"), 1.0);
+    EXPECT_GE(sys.stats().find("l2b0.recalls")->value(), 1.0);
     // Every registered value survives whatever was recalled.
     for (unsigned i = 0; i < 16; ++i)
         EXPECT_EQ(sys.debugRead(base + i * stride), 100 + i);
@@ -257,8 +257,8 @@ TEST(DenovoProtocol, DhLocalSyncDelaysOwnership)
                          Scope::Local));
     EXPECT_EQ(old_val, 0u);
     // Lazily owned: not registered yet.
-    EXPECT_FALSE(sys.denovoL1(0)->ownsWord(kLock));
-    EXPECT_EQ(sys.denovoBank(bankOf(kLock))->ownerOf(kLock), kNoNode);
+    EXPECT_FALSE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kLock));
+    EXPECT_EQ(as<DenovoL2Bank>(sys.l2Bank(bankOf(kLock)))->ownerOf(kLock), kNoNode);
     // A second local sync sees the first (same L1).
     EXPECT_EQ(doSync(sys, 0,
                      makeSync(AtomicFunc::FetchAdd, kLock, 1, 0,
@@ -266,7 +266,7 @@ TEST(DenovoProtocol, DhLocalSyncDelaysOwnership)
               1u);
     // A global release registers the lazily-owned word.
     doDrain(sys, 0);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kLock));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kLock));
     EXPECT_EQ(sys.debugRead(kLock), 2u);
 }
 
@@ -280,7 +280,7 @@ TEST(DenovoProtocol, DhLocalReleaseSkipsDrain)
     }
     ASSERT_TRUE(done);
     // Still unregistered: local releases delay obtaining ownership.
-    EXPECT_FALSE(sys.denovoL1(0)->ownsWord(kData));
+    EXPECT_FALSE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
 }
 
 TEST(DenovoProtocol, ConcurrentAtomicsFromAllCusSumCorrectly)
@@ -338,9 +338,9 @@ TEST(DenovoProtocol, PartialLineOwnershipSplitsAcrossCus)
     doDrain(sys, 1);
     doStore(sys, 2, kData + 8, 12);
     doDrain(sys, 2);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kData));
-    EXPECT_TRUE(sys.denovoL1(1)->ownsWord(kData + 4));
-    EXPECT_TRUE(sys.denovoL1(2)->ownsWord(kData + 8));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kData));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(1))->ownsWord(kData + 4));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(2))->ownsWord(kData + 8));
     // A fourth CU reads all three: forwards from three owners.
     EXPECT_EQ(doLoad(sys, 3, kData), 10u);
     EXPECT_EQ(doLoad(sys, 3, kData + 4), 11u);

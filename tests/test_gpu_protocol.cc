@@ -49,9 +49,9 @@ TEST(GpuProtocol, SecondLoadHitsInL1)
     sys.writeInit(kData, 7);
     doLoad(sys, 0, kData);
     double misses_before =
-        sys.stats().get("l1.0.load_misses");
+        sys.stats().find("l1.0.load_misses")->value();
     EXPECT_EQ(doLoad(sys, 0, kData + 4), 0u); // same line, word 1
-    EXPECT_EQ(sys.stats().get("l1.0.load_misses"), misses_before);
+    EXPECT_EQ(sys.stats().find("l1.0.load_misses")->value(), misses_before);
 }
 
 TEST(GpuProtocol, StoreForwardsLocallyBeforeWritethrough)
@@ -62,7 +62,7 @@ TEST(GpuProtocol, StoreForwardsLocallyBeforeWritethrough)
     EXPECT_EQ(doLoad(sys, 0, kData), 55u);
     // ...but not yet at the shared L2 (no release yet).
     unsigned bank = (kData / kLineBytes) % 16;
-    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kData), 0u);
+    EXPECT_EQ(as<GpuL2Bank>(sys.l2Bank(bank))->peekWord(kData), 0u);
 }
 
 TEST(GpuProtocol, DrainWritesThroughToL2)
@@ -71,8 +71,8 @@ TEST(GpuProtocol, DrainWritesThroughToL2)
     doStore(sys, 0, kData, 55);
     doDrain(sys, 0);
     unsigned bank = (kData / kLineBytes) % 16;
-    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kData), 55u);
-    EXPECT_EQ(sys.gpuL1(0)->storeBufferSize(), 0u);
+    EXPECT_EQ(as<GpuL2Bank>(sys.l2Bank(bank))->peekWord(kData), 55u);
+    EXPECT_EQ(as<GpuL1Cache>(sys.l1(0))->storeBufferSize(), 0u);
 }
 
 TEST(GpuProtocol, KernelEndDrains)
@@ -85,7 +85,7 @@ TEST(GpuProtocol, KernelEndDrains)
     }
     ASSERT_TRUE(done);
     unsigned bank = (kData / kLineBytes) % 16;
-    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kData), 99u);
+    EXPECT_EQ(as<GpuL2Bank>(sys.l2Bank(bank))->peekWord(kData), 99u);
 }
 
 TEST(GpuProtocol, GlobalAcquireFlashInvalidates)
@@ -93,11 +93,11 @@ TEST(GpuProtocol, GlobalAcquireFlashInvalidates)
     System sys(gdConfig());
     sys.writeInit(kData, 3);
     doLoad(sys, 0, kData);
-    EXPECT_TRUE(sys.gpuL1(0)->wordValid(kData));
+    EXPECT_TRUE(as<GpuL1Cache>(sys.l1(0))->wordValid(kData));
     doSync(sys, 0,
            makeSync(AtomicFunc::Load, kFlag, 0, 0, Scope::Global,
                     SyncSemantics::Acquire));
-    EXPECT_FALSE(sys.gpuL1(0)->wordValid(kData));
+    EXPECT_FALSE(as<GpuL1Cache>(sys.l1(0))->wordValid(kData));
 }
 
 TEST(GpuProtocol, HrfKeepsDirtyWordsAcrossGlobalAcquire)
@@ -108,7 +108,7 @@ TEST(GpuProtocol, HrfKeepsDirtyWordsAcrossGlobalAcquire)
            makeSync(AtomicFunc::Load, kFlag, 0, 0, Scope::Global,
                     SyncSemantics::Acquire));
     // The CU's own partial write survives (per-word dirty bit).
-    EXPECT_TRUE(sys.gpuL1(0)->wordValid(kData));
+    EXPECT_TRUE(as<GpuL1Cache>(sys.l1(0))->wordValid(kData));
     EXPECT_EQ(doLoad(sys, 0, kData), 42u);
 }
 
@@ -120,8 +120,8 @@ TEST(GpuProtocol, GlobalAtomicExecutesAtL2)
         doSync(sys, 0, makeSync(AtomicFunc::FetchAdd, kFlag, 5));
     EXPECT_EQ(old_val, 10u);
     unsigned bank = (kFlag / kLineBytes) % 16;
-    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kFlag), 15u);
-    EXPECT_GE(sys.stats().get("l1.0.sync_misses"), 1.0);
+    EXPECT_EQ(as<GpuL2Bank>(sys.l2Bank(bank))->peekWord(kFlag), 15u);
+    EXPECT_GE(sys.stats().find("l1.0.sync_misses")->value(), 1.0);
 }
 
 TEST(GpuProtocol, HrfLocalAtomicExecutesAtL1)
@@ -135,9 +135,9 @@ TEST(GpuProtocol, HrfLocalAtomicExecutesAtL1)
     // Performed locally: the L2 copy is untouched until a global
     // release flushes dirty words.
     unsigned bank = (kFlag / kLineBytes) % 16;
-    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kFlag), 1u);
+    EXPECT_EQ(as<GpuL2Bank>(sys.l2Bank(bank))->peekWord(kFlag), 1u);
     doDrain(sys, 0);
-    EXPECT_EQ(sys.gpuBank(bank)->peekWord(kFlag), 2u);
+    EXPECT_EQ(as<GpuL2Bank>(sys.l2Bank(bank))->peekWord(kFlag), 2u);
 }
 
 TEST(GpuProtocol, MessagePassingBetweenCus)
@@ -183,7 +183,7 @@ TEST(GpuProtocol, StoreBufferOverflowForcesDrain)
     // Five distinct words: the fifth store must force a drain.
     for (unsigned i = 0; i < 5; ++i)
         doStore(sys, 0, kData + i * kWordBytes, i + 1);
-    EXPECT_GE(sys.stats().get("l1.0.sb_overflow_drains"), 1.0);
+    EXPECT_GE(sys.stats().find("l1.0.sb_overflow_drains")->value(), 1.0);
     // All values remain visible.
     for (unsigned i = 0; i < 5; ++i)
         EXPECT_EQ(doLoad(sys, 0, kData + i * kWordBytes), i + 1);

@@ -116,7 +116,12 @@ TEST_F(MeshFixture, MessagesCountedPerClass)
     mesh.send(0, 1, 1, TrafficClass::Registration, [] {});
     mesh.send(0, 1, 1, TrafficClass::Registration, [] {});
     eq.run();
-    EXPECT_DOUBLE_EQ(stats.getVec("noc.messages", "Regist"), 2.0);
+    const stats::Vector *messages = stats.findVector("noc.messages");
+    ASSERT_NE(messages, nullptr);
+    int regist = messages->indexOf("Regist");
+    ASSERT_GE(regist, 0);
+    EXPECT_DOUBLE_EQ(
+        messages->value(static_cast<std::size_t>(regist)), 2.0);
 }
 
 TEST(MeshTraffic, FlitsForPayload)

@@ -89,7 +89,7 @@ TEST(ProtocolRaces, DrainedStoreStaysVisibleUntilRegistered)
     sys.l1(0).drainWrites(Scope::Global, [&] { drained = true; });
     while (!drained) {
         std::uint32_t v = 0;
-        ASSERT_TRUE(sys.denovoL1(0)->peekWord(kLine, v));
+        ASSERT_TRUE(as<DenovoL1Cache>(sys.l1(0))->peekWord(kLine, v));
         ASSERT_EQ(v, 77u);
         if (!sys.eventQueue().step())
             break;
@@ -216,7 +216,7 @@ TEST(ProtocolRaces, ReadForwardServedFromWritebackBuffer)
 
     doStore(sys, 0, kLine, 909);
     doDrain(sys, 0);
-    ASSERT_TRUE(sys.denovoL1(0)->ownsWord(kLine));
+    ASSERT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kLine));
     // Trigger the eviction but do NOT wait for the writeback to
     // land; immediately read from CU 1.
     bool evicted = false;
@@ -296,8 +296,8 @@ TEST(ProtocolRaces, PartialLineDrainPiecesMerge)
     doDrain(sys, 0);
     EXPECT_EQ(sys.debugRead(kLine), 5u);
     EXPECT_EQ(sys.debugRead(kOther), 6u);
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kLine));
-    EXPECT_TRUE(sys.denovoL1(0)->ownsWord(kOther));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kLine));
+    EXPECT_TRUE(as<DenovoL1Cache>(sys.l1(0))->ownsWord(kOther));
 }
 
 TEST(ProtocolRaces, ConcurrentDrainAndRemoteReadKeepsCoherence)

@@ -171,8 +171,10 @@ TEST(AppModels, LavaOverflowsStoreBufferOnGpu)
     ASSERT_TRUE(result.ok());
     double drains = 0;
     for (unsigned cu = 0; cu < system.numCus(); ++cu) {
-        drains += system.stats().get("l1." + std::to_string(cu) +
-                                     ".sb_overflow_drains");
+        drains += system.stats()
+                      .find("l1." + std::to_string(cu) +
+                            ".sb_overflow_drains")
+                      ->value();
     }
     EXPECT_GT(drains, 0.0);
 }

@@ -23,11 +23,11 @@ TEST(System, BuildsEveryConfiguration)
         EXPECT_EQ(system.numCus(), 15u);
         EXPECT_EQ(system.mesh().numNodes(), 16u);
         if (proto.protocol == CoherenceProtocol::Denovo) {
-            EXPECT_NE(system.denovoL1(0), nullptr);
-            EXPECT_EQ(system.gpuL1(0), nullptr);
+            EXPECT_NE(as<DenovoL1Cache>(system.l1(0)), nullptr);
+            EXPECT_EQ(as<GpuL1Cache>(system.l1(0)), nullptr);
         } else {
-            EXPECT_NE(system.gpuL1(0), nullptr);
-            EXPECT_EQ(system.denovoL1(0), nullptr);
+            EXPECT_NE(as<GpuL1Cache>(system.l1(0)), nullptr);
+            EXPECT_EQ(as<DenovoL1Cache>(system.l1(0)), nullptr);
         }
     }
 }
@@ -134,7 +134,7 @@ TEST(GpuDevice, MultiKernelRunsAllKernels)
     System system(config);
     RunResult result = system.run(*workload);
     EXPECT_TRUE(result.ok());
-    EXPECT_DOUBLE_EQ(system.stats().get("gpu.kernels_launched"), 10.0);
+    EXPECT_DOUBLE_EQ(system.stats().find("gpu.kernels_launched")->value(), 10.0);
 }
 
 TEST(GpuDevice, CountsThreadBlocks)
@@ -143,5 +143,5 @@ TEST(GpuDevice, CountsThreadBlocks)
     SystemConfig config;
     System system(config);
     system.run(*workload);
-    EXPECT_DOUBLE_EQ(system.stats().get("gpu.tbs_executed"), 30.0);
+    EXPECT_DOUBLE_EQ(system.stats().find("gpu.tbs_executed")->value(), 30.0);
 }

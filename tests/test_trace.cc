@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the transaction-trace subsystem: the TraceSink ring
+ * buffer and transaction latency accounting, the protocol event
+ * sequences each coherence configuration emits at its seams, the
+ * Chrome trace-event JSON exporter, and — the property the figures
+ * depend on — that disabled tracing leaves the simulated RunResult
+ * bitwise identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "test_util.hh"
+#include "trace/trace_sink.hh"
+#include "workloads/registry.hh"
+
+using namespace nosync;
+using namespace nosync::test;
+
+namespace
+{
+
+constexpr Addr kData = 0x10000;
+
+/** Read a whole file into a string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/**
+ * Minimal structural JSON validation: every brace/bracket balances,
+ * respecting string literals and escapes. The CI job additionally
+ * parses traced output with Python's json module against the
+ * checked-in schema; this keeps the core property in-tree.
+ */
+bool
+jsonBalanced(const std::string &text)
+{
+    std::vector<char> stack;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : text) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; break;
+          case '{': stack.push_back('}'); break;
+          case '[': stack.push_back(']'); break;
+          case '}':
+          case ']':
+            if (stack.empty() || stack.back() != c)
+                return false;
+            stack.pop_back();
+            break;
+          default: break;
+        }
+    }
+    return stack.empty() && !in_string;
+}
+
+SystemConfig
+tracedConfig(const ProtocolConfig &proto)
+{
+    SystemConfig config;
+    config.protocol = proto;
+    config.traceEnabled = true;
+    return config;
+}
+
+} // namespace
+
+TEST(TraceSink, RecordsEventsOldestFirst)
+{
+    stats::StatSet stats;
+    trace::TraceSink sink(stats);
+    sink.record(10, trace::Phase::L1MissIssue, 3, kData, 0, 0xffff);
+    sink.record(12, trace::Phase::FlitEnqueue, 3, 0, 0, 2);
+    EXPECT_EQ(sink.recorded(), 2u);
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.dropped(), 0u);
+    EXPECT_EQ(sink.event(0).tick, 10u);
+    EXPECT_EQ(sink.event(0).phase, trace::Phase::L1MissIssue);
+    EXPECT_EQ(sink.event(0).addr, kData);
+    EXPECT_EQ(sink.event(0).aux, 0xffffu);
+    EXPECT_EQ(sink.event(1).phase, trace::Phase::FlitEnqueue);
+    EXPECT_EQ(sink.countPhase(trace::Phase::L1MissIssue), 1u);
+    EXPECT_EQ(sink.countPhase(trace::Phase::L1RegAck), 0u);
+}
+
+TEST(TraceSink, RingOverwritesOldestPastCapacity)
+{
+    stats::StatSet stats;
+    trace::TraceSink sink(stats, 8);
+    for (Tick t = 0; t < 12; ++t)
+        sink.record(t, trace::Phase::FlitDeliver, 0, 0);
+    EXPECT_EQ(sink.recorded(), 12u);
+    EXPECT_EQ(sink.size(), 8u);
+    EXPECT_EQ(sink.dropped(), 4u);
+    // The retained window is the newest 8 events, oldest first.
+    EXPECT_EQ(sink.event(0).tick, 4u);
+    EXPECT_EQ(sink.event(7).tick, 11u);
+    // Lifetime phase counts are unaffected by ring recycling.
+    EXPECT_EQ(sink.countPhase(trace::Phase::FlitDeliver), 12u);
+}
+
+TEST(TraceSink, TransactionsFeedLatencyDistributions)
+{
+    stats::StatSet stats;
+    trace::TraceSink sink(stats);
+    std::uint64_t a = sink.beginTxn(trace::TxnClass::Load, 100, 2,
+                                    kData);
+    std::uint64_t b = sink.beginTxn(trace::TxnClass::SyncAcquire, 100,
+                                    3, kData + 4);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, a);
+    EXPECT_EQ(sink.openTxns(), 2u);
+    sink.endTxn(a, 140);
+    sink.endTxn(b, 300);
+    EXPECT_EQ(sink.openTxns(), 0u);
+
+    const stats::Distribution &load =
+        sink.latency(trace::TxnClass::Load);
+    EXPECT_EQ(load.count(), 1u);
+    EXPECT_DOUBLE_EQ(load.max(), 40.0);
+    const stats::Distribution &acq =
+        sink.latency(trace::TxnClass::SyncAcquire);
+    EXPECT_EQ(acq.count(), 1u);
+    EXPECT_DOUBLE_EQ(acq.max(), 200.0);
+    EXPECT_EQ(sink.latency(trace::TxnClass::Store).count(), 0u);
+
+    // The distributions live in the owning StatSet under typed names.
+    EXPECT_NE(stats.findDistribution("trace.latency.load"), nullptr);
+    ASSERT_EQ(sink.completed().size(), 2u);
+    EXPECT_EQ(sink.completed()[0].id, a);
+    EXPECT_EQ(sink.completed()[0].node, 2);
+}
+
+TEST(TraceSink, ChromeJsonIsBalancedAndTyped)
+{
+    stats::StatSet stats;
+    trace::TraceSink sink(stats);
+    std::uint64_t txn = sink.beginTxn(trace::TxnClass::Store, 5, 1,
+                                      kData);
+    sink.record(6, trace::Phase::L1WriteThrough, 1, kData, 0, 1);
+    sink.endTxn(txn, 20);
+
+    std::string path = testing::TempDir() + "trace_unit.json";
+    ASSERT_TRUE(sink.writeChromeJson(path));
+    std::string text = slurp(path);
+    EXPECT_TRUE(jsonBalanced(text)) << text;
+    EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"store\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"L1WriteThrough\""),
+              std::string::npos);
+}
+
+TEST(TraceProtocol, DenovoDrainEmitsRegistrationRoundTrip)
+{
+    // Scripted two-CU DD sequence: a drained store must register
+    // ownership at the home L2 — miss issue, registration issue, an
+    // ownership change at the registry, and the returning ack.
+    System sys(tracedConfig(ProtocolConfig::dd()));
+    ASSERT_NE(sys.trace(), nullptr);
+    doStore(sys, 0, kData, 7);
+    doDrain(sys, 0);
+    trace::TraceSink &sink = *sys.trace();
+    EXPECT_GE(sink.countPhase(trace::Phase::L1RegIssue), 1u);
+    EXPECT_GE(sink.countPhase(trace::Phase::L2OwnerChange), 1u);
+    EXPECT_GE(sink.countPhase(trace::Phase::L1RegAck), 1u);
+    EXPECT_GE(sink.countPhase(trace::Phase::FlitEnqueue), 1u);
+    EXPECT_GE(sink.countPhase(trace::Phase::FlitDeliver), 1u);
+    // DeNovo never writes data through to the L2 on a drain.
+    EXPECT_EQ(sink.countPhase(trace::Phase::L1WriteThrough), 0u);
+    EXPECT_EQ(sink.countPhase(trace::Phase::L2WriteThrough), 0u);
+
+    // A remote read of the registered word is forwarded to the owner.
+    EXPECT_EQ(doLoad(sys, 1, kData), 7u);
+    EXPECT_GE(sink.countPhase(trace::Phase::L2Forward), 1u);
+}
+
+TEST(TraceProtocol, GpuDrainEmitsWritethroughsNotRegistrations)
+{
+    // The same scripted sequence under GD: stores write through to
+    // the L2 and no ownership machinery exists to fire.
+    System sys(tracedConfig(ProtocolConfig::gd()));
+    ASSERT_NE(sys.trace(), nullptr);
+    doStore(sys, 0, kData, 7);
+    doDrain(sys, 0);
+    trace::TraceSink &sink = *sys.trace();
+    EXPECT_GE(sink.countPhase(trace::Phase::L1WriteThrough), 1u);
+    EXPECT_GE(sink.countPhase(trace::Phase::L2WriteThrough), 1u);
+    EXPECT_EQ(sink.countPhase(trace::Phase::L1RegIssue), 0u);
+    EXPECT_EQ(sink.countPhase(trace::Phase::L2OwnerChange), 0u);
+    EXPECT_EQ(sink.countPhase(trace::Phase::L2Forward), 0u);
+
+    // A load miss from the other CU is served by the home bank.
+    EXPECT_EQ(doLoad(sys, 1, kData), 7u);
+    EXPECT_GE(sink.countPhase(trace::Phase::L1MissIssue), 1u);
+    EXPECT_GE(sink.countPhase(trace::Phase::L2ReadServe), 1u);
+}
+
+TEST(TraceRun, DisabledTracingLeavesRunResultBitwiseIdentical)
+{
+    auto run = [](bool traced) {
+        auto workload = makeScaled("NN", 10);
+        SystemConfig config;
+        config.protocol = ProtocolConfig::dd();
+        config.traceEnabled = traced;
+        System system(config);
+        return system.run(*workload);
+    };
+    RunResult off = run(false);
+    RunResult on = run(true);
+
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    // Bitwise-identical simulated state: tracing observes, never
+    // perturbs. (Host-side timing lives in RunResult::host and the
+    // latency summaries only exist on the traced run.)
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.energy, on.energy);
+    EXPECT_EQ(off.energyTotal, on.energyTotal);
+    EXPECT_EQ(off.traffic, on.traffic);
+    EXPECT_EQ(off.trafficTotal, on.trafficTotal);
+    EXPECT_EQ(off.checkFailures, on.checkFailures);
+
+    EXPECT_TRUE(off.syncLatency.empty());
+    EXPECT_FALSE(on.syncLatency.empty());
+}
+
+TEST(TraceRun, TracedRunReportsPerClassLatencies)
+{
+    auto workload = makeScaled("FAM_G", 10);
+    SystemConfig config;
+    config.protocol = ProtocolConfig::dd();
+    config.traceEnabled = true;
+    System system(config);
+    RunResult result = system.run(*workload);
+    ASSERT_TRUE(result.ok());
+
+    bool saw_sync = false;
+    for (const auto &lat : result.syncLatency) {
+        EXPECT_GT(lat.count, 0u);
+        EXPECT_LE(lat.p50, lat.p95);
+        EXPECT_LE(lat.p95, lat.max);
+        if (lat.cls.rfind("sync_", 0) == 0)
+            saw_sync = true;
+    }
+    EXPECT_TRUE(saw_sync)
+        << "a sync-heavy workload must sample sync latencies";
+
+    // No transaction may leak past workload completion.
+    EXPECT_EQ(system.trace()->openTxns(), 0u);
+}
+
+TEST(TraceRun, FullRunChromeJsonIsBalanced)
+{
+    auto workload = makeScaled("SS_L", 10);
+    SystemConfig config;
+    config.protocol = ProtocolConfig::gd();
+    config.traceEnabled = true;
+    System system(config);
+    RunResult result = system.run(*workload);
+    ASSERT_TRUE(result.ok());
+
+    std::string path = testing::TempDir() + "trace_full_run.json";
+    ASSERT_TRUE(system.trace()->writeChromeJson(path));
+    std::string text = slurp(path);
+    EXPECT_TRUE(jsonBalanced(text));
+    EXPECT_NE(text.find("\"events_recorded\":"), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"KernelLaunch\""),
+              std::string::npos);
+}

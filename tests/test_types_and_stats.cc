@@ -47,7 +47,8 @@ TEST(Stats, ScalarAccumulates)
     stats::Scalar &s = set.scalar("x", "a scalar");
     s += 2.5;
     ++s;
-    EXPECT_DOUBLE_EQ(set.get("x"), 3.5);
+    ASSERT_NE(set.find("x"), nullptr);
+    EXPECT_DOUBLE_EQ(set.find("x")->value(), 3.5);
 }
 
 TEST(Stats, ScalarReregistrationReturnsSame)
@@ -64,17 +65,25 @@ TEST(Stats, VectorSubnamesAndTotal)
     stats::Vector &v = set.vector("v", "a vector", {"a", "b", "c"});
     v.add(0, 1.0);
     v.add(2, 4.0);
-    EXPECT_DOUBLE_EQ(set.getVec("v", "a"), 1.0);
-    EXPECT_DOUBLE_EQ(set.getVec("v", "b"), 0.0);
-    EXPECT_DOUBLE_EQ(set.getVec("v", "c"), 4.0);
+    const stats::Vector *found = set.findVector("v");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->indexOf("a"), 0);
+    EXPECT_EQ(found->indexOf("nope"), -1);
+    EXPECT_DOUBLE_EQ(found->value(0), 1.0);
+    EXPECT_DOUBLE_EQ(found->value(1), 0.0);
+    EXPECT_DOUBLE_EQ(found->value(2), 4.0);
     EXPECT_DOUBLE_EQ(v.total(), 5.0);
 }
 
-TEST(Stats, MissingLookupsReturnZero)
+TEST(Stats, FindDistinguishesAbsentFromZero)
 {
     stats::StatSet set;
-    EXPECT_DOUBLE_EQ(set.get("nope"), 0.0);
-    EXPECT_DOUBLE_EQ(set.getVec("nope", "x"), 0.0);
+    set.scalar("zero", "registered but never bumped");
+    EXPECT_NE(set.find("zero"), nullptr);
+    EXPECT_DOUBLE_EQ(set.find("zero")->value(), 0.0);
+    EXPECT_EQ(set.find("nope"), nullptr);
+    EXPECT_EQ(set.findVector("nope"), nullptr);
+    EXPECT_EQ(set.findDistribution("nope"), nullptr);
 }
 
 TEST(Stats, ResetAllZeroes)
@@ -82,9 +91,11 @@ TEST(Stats, ResetAllZeroes)
     stats::StatSet set;
     set.scalar("x", "a") += 7;
     set.vector("v", "b", {"p"}).add(0, 3);
+    set.registerDistribution("d", "c")->sample(8.0);
     set.resetAll();
-    EXPECT_DOUBLE_EQ(set.get("x"), 0.0);
-    EXPECT_DOUBLE_EQ(set.getVec("v", "p"), 0.0);
+    EXPECT_DOUBLE_EQ(set.find("x")->value(), 0.0);
+    EXPECT_DOUBLE_EQ(set.findVector("v")->value(0), 0.0);
+    EXPECT_EQ(set.findDistribution("d")->count(), 0u);
 }
 
 TEST(Stats, DumpContainsNamesAndValues)
@@ -95,6 +106,91 @@ TEST(Stats, DumpContainsNamesAndValues)
     EXPECT_NE(dump.find("alpha"), std::string::npos);
     EXPECT_NE(dump.find("42"), std::string::npos);
     EXPECT_NE(dump.find("desc of alpha"), std::string::npos);
+}
+
+TEST(Stats, TypedHandlesUpdateTheRegisteredStat)
+{
+    stats::StatSet set;
+    stats::Handle<stats::Scalar> h = set.registerScalar("s", "d");
+    ASSERT_TRUE(static_cast<bool>(h));
+    ++h;
+    h += 4.0;
+    EXPECT_DOUBLE_EQ(set.find("s")->value(), 5.0);
+
+    // Re-registration hands back a handle to the same statistic.
+    stats::Handle<stats::Scalar> again = set.registerScalar("s", "d");
+    ++again;
+    EXPECT_DOUBLE_EQ(h->value(), 6.0);
+
+    stats::Handle<stats::Vector> v =
+        set.registerVector("v", "d", {"a", "b"});
+    v->add(1, 2.0);
+    EXPECT_DOUBLE_EQ(set.findVector("v")->value(1), 2.0);
+
+    stats::Handle<stats::Distribution> dist =
+        set.registerDistribution("dist", "d");
+    dist->sample(3.0);
+    EXPECT_EQ(set.findDistribution("dist")->count(), 1u);
+
+    // Default-constructed handles are empty and test false.
+    stats::Handle<stats::Scalar> empty;
+    EXPECT_FALSE(static_cast<bool>(empty));
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d("lat", "latency");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+
+    for (double v : {4.0, 8.0, 100.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.sum(), 112.0);
+    EXPECT_DOUBLE_EQ(d.min(), 4.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 112.0 / 3.0);
+}
+
+TEST(Stats, DistributionPercentilesBracketTheSamples)
+{
+    stats::Distribution d("lat", "latency");
+    // 1000 samples spread uniformly over [1, 1000].
+    for (int i = 1; i <= 1000; ++i)
+        d.sample(static_cast<double>(i));
+
+    double p50 = d.percentile(0.50);
+    double p95 = d.percentile(0.95);
+    // Log2 buckets give coarse estimates; they must stay within the
+    // containing power-of-two bracket of the true quantile.
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_GE(p95, 512.0);
+    EXPECT_LE(p95, 1000.0);
+    EXPECT_GE(p95, p50);
+    // Extremes clamp to the observed range exactly.
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 1000.0);
+}
+
+TEST(Stats, DistributionSingleSampleReportsItEverywhere)
+{
+    stats::Distribution d("lat", "latency");
+    d.sample(37.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 37.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 37.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 37.0);
+}
+
+TEST(Stats, DistributionAppearsInDump)
+{
+    stats::StatSet set;
+    set.registerDistribution("trace.latency.load", "load latency")
+        ->sample(12.0);
+    std::string dump = set.dump();
+    EXPECT_NE(dump.find("trace.latency.load"), std::string::npos);
+    EXPECT_NE(dump.find("count=1"), std::string::npos);
 }
 
 TEST(Rng, DeterministicForSeed)

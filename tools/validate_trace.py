@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate simulator Chrome-trace JSON against the checked-in schema.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+
+Parses each trace with the stdlib json module (so a malformed file
+fails loudly, unlike the in-tree structural check) and validates it
+against tools/trace_schema.json. Only the JSON-Schema subset that
+schema actually uses is implemented -- type, required, properties,
+enum, items, minimum -- to keep this dependency-free.
+
+Beyond the schema, enforces the cross-field rules Chrome's trace-event
+format requires but vanilla JSON Schema cannot express here:
+
+  * "ph":"X" (duration) events must carry "dur";
+  * "ph":"i" (instant) events must carry a scope "s";
+  * instant events must be sorted by "ts" (the exporter walks the
+    ring buffer oldest-first; duration events precede them in
+    transaction-completion order, whose begin ticks may interleave);
+  * otherData's recorded-minus-dropped count must match the actual
+    number of instant events retained in the file.
+
+Exits 0 if every file validates, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "trace_schema.json")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def check(value, schema, path, errors):
+    """Recursively validate value against the schema subset."""
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        # bool is a subclass of int; "integer" must not accept it.
+        if isinstance(value, bool) and expected != "boolean":
+            errors.append(f"{path}: expected {expected}, got boolean")
+            return
+        if not isinstance(value, python_type):
+            errors.append(
+                f"{path}: expected {expected},"
+                f" got {type(value).__name__}")
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(
+                f"{path}: {value} below minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], subschema, f"{path}.{key}", errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_event_rules(trace, errors):
+    """Cross-field rules the schema subset cannot express."""
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return
+    last_ts = None
+    instants = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            continue
+        path = f"$.traceEvents[{i}]"
+        ph = ev.get("ph")
+        if ph == "X" and "dur" not in ev:
+            errors.append(f"{path}: duration event missing 'dur'")
+        if ph == "i":
+            instants += 1
+            if "s" not in ev:
+                errors.append(f"{path}: instant event missing 's'")
+            ts = ev.get("ts")
+            if isinstance(ts, int):
+                if last_ts is not None and ts < last_ts:
+                    errors.append(f"{path}: instant ts {ts} out of"
+                                  f" order (prev {last_ts})")
+                last_ts = ts
+
+    other = trace.get("otherData")
+    if isinstance(other, dict):
+        recorded = other.get("events_recorded")
+        dropped = other.get("events_dropped", 0)
+        if isinstance(recorded, int) and isinstance(dropped, int):
+            retained = recorded - dropped
+            if instants != retained:
+                errors.append(
+                    f"$.traceEvents: {instants} instant events but"
+                    f" otherData says {retained} retained"
+                    f" ({recorded} recorded - {dropped} dropped)")
+
+
+def validate_file(path, schema):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL {path}: {exc}")
+        return False
+    check(trace, schema, "$", errors)
+    check_event_rules(trace, errors)
+    if errors:
+        print(f"FAIL {path}:")
+        for err in errors[:20]:
+            print(f"  {err}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return False
+    n = len(trace["traceEvents"])
+    print(f"OK   {path}: {n} events")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        schema = json.load(f)
+    ok = all([validate_file(p, schema) for p in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
