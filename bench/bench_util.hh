@@ -47,6 +47,14 @@ struct Options
      * sweeps (--jobs=N) never contend for one output file.
      */
     std::string tracePath;
+    /** Happens-before race checking on every cell. */
+    bool raceCheck = false;
+    /**
+     * Write per-cell race reports as JSON derived from this path
+     * ("" = don't). Implies --race-check. Cells split files the same
+     * way --trace does, so --jobs=N never contends for one file.
+     */
+    std::string raceJsonPath;
 
     /**
      * Harness-specific option hook: return true if @p arg was
@@ -88,11 +96,17 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
             opts.jsonPath = argv[i] + 7;
         } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
             opts.tracePath = argv[i] + 8;
+        } else if (std::strcmp(argv[i], "--race-check") == 0) {
+            opts.raceCheck = true;
+        } else if (std::strncmp(argv[i], "--race-json=", 12) == 0) {
+            opts.raceJsonPath = argv[i] + 12;
+            opts.raceCheck = true;
         } else if (!extra || !extra(argv[i])) {
             std::cerr << "error: unknown option " << argv[i]
                       << "\nusage: " << argv[0]
                       << " [--scale=N] [--jobs=N] [--json=PATH]"
-                         " [--trace=PATH] [--no-breakdowns]"
+                         " [--trace=PATH] [--race-check]"
+                         " [--race-json=PATH] [--no-breakdowns]"
                       << extra_usage << "\n";
             std::exit(2);
         }
@@ -149,6 +163,7 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
     SystemConfig config;
     config.protocol = proto;
     config.traceEnabled = !opts.tracePath.empty();
+    config.raceCheckEnabled = opts.raceCheck;
     if (tweak)
         tweak(config);
     System system(config);
@@ -158,6 +173,15 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
                                          proto.shortName());
         if (!system.trace()->writeChromeJson(path)) {
             std::cerr << "error: cannot write trace " << path << "\n";
+            std::exit(1);
+        }
+    }
+    if (!opts.raceJsonPath.empty() && result.races.enabled) {
+        std::string path = traceCellPath(
+            opts.raceJsonPath, workload_name, proto.shortName());
+        if (!analysis::writeRaceJson(result.races, path)) {
+            std::cerr << "error: cannot write race report " << path
+                      << "\n";
             std::exit(1);
         }
     }
@@ -179,6 +203,8 @@ requireAllOk(const std::vector<RunResult> &results)
             std::cerr << "  " << failure << "\n";
         if (result.hang)
             std::cerr << renderHangReport(*result.hang);
+        if (result.races.enabled && result.races.racesDetected != 0)
+            std::cerr << analysis::renderRaceReport(result.races);
     }
     if (failed)
         std::exit(1);

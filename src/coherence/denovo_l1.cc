@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/race_detector.hh"
 #include "trace/trace_sink.hh"
 
 namespace nosync
@@ -913,6 +914,8 @@ DenovoL1Cache::performSync(const SyncOp &op, Scope scope,
                                     ? _sb.value(op.addr)
                                     : frame->data[w];
         _sb.erase(op.addr);
+        if (_races)
+            _races->syncPerformed(op, curTick());
         AtomicResult res = applyAtomic(op, old_val);
         frame->data[w] = res.newValue;
         _array.touch(*frame);
@@ -1107,6 +1110,8 @@ DenovoL1Cache::processSyncQueue(Addr line_addr, unsigned word)
                  "queued sync op executing without ownership");
         _energy.l1Access();
         _energy.atomicAlu();
+        if (_races)
+            _races->syncPerformed(waiter.op, curTick());
         AtomicResult res = applyAtomic(waiter.op, frame->data[word]);
         frame->data[word] = res.newValue;
         _array.touch(*frame);
@@ -1145,6 +1150,8 @@ DenovoL1Cache::performLocalHrfSync(const SyncOp &op, ValueCallback cb)
     ++_stats.syncHits;
     _energy.l1Access();
     _energy.atomicAlu();
+    if (_races)
+        _races->syncPerformed(op, curTick());
     AtomicResult res = applyAtomic(op, old_val);
 
     unsigned w = wordInLine(op.addr);

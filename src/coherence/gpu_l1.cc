@@ -1,5 +1,6 @@
 #include "coherence/gpu_l1.hh"
 
+#include "analysis/race_detector.hh"
 #include "trace/trace_sink.hh"
 
 namespace nosync
@@ -594,6 +595,8 @@ GpuL1Cache::applyLocalAtomic(CacheLine &line, const SyncOp &op,
     } else if (!bufferedValue(op.addr, old_val)) {
         old_val = line.data[w];
     }
+    if (_races)
+        _races->syncPerformed(op, curTick());
     AtomicResult res = applyAtomic(op, old_val);
     line.data[w] = res.newValue;
     line.wstate[w] = WordState::Valid;

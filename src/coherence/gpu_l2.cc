@@ -1,5 +1,6 @@
 #include "coherence/gpu_l2.hh"
 
+#include "analysis/race_detector.hh"
 #include "trace/trace_sink.hh"
 
 namespace nosync
@@ -178,6 +179,8 @@ GpuL2Bank::handleAtomic(const SyncOp &op, NodeId requestor,
                            static_cast<std::uint16_t>(requestor));
         }
         unsigned w = wordInLine(op.addr);
+        if (_races)
+            _races->syncPerformed(op, curTick());
         AtomicResult res = applyAtomic(op, line.data[w]);
         if (res.stored) {
             line.data[w] = res.newValue;

@@ -35,6 +35,11 @@ namespace trace
 class TraceSink;
 }
 
+namespace analysis
+{
+class RaceDetector;
+}
+
 /** Callback returning a loaded / atomic-returned value. */
 using ValueCallback = std::function<void(std::uint32_t)>;
 
@@ -163,6 +168,17 @@ class L1Controller : public SimObject
     /** Drain any buffered writes at the given scope (fence helper). */
     virtual void drainWrites(Scope scope, DoneCallback cb) = 0;
 
+    /**
+     * Attach the happens-before race detector (nullptr = disabled).
+     * The controller notifies it whenever an atomic functionally
+     * performs at this L1, i.e. at the point the operation takes its
+     * place in coherence order.
+     */
+    void setRaceDetector(analysis::RaceDetector *races)
+    {
+        _races = races;
+    }
+
   protected:
     NodeId _node;
     ProtocolConfig _config;
@@ -170,6 +186,8 @@ class L1Controller : public SimObject
     L1Stats _stats;
     /** Observability sink; nullptr when tracing is disabled. */
     trace::TraceSink *_trace = nullptr;
+    /** Race detector; nullptr when race checking is disabled. */
+    analysis::RaceDetector *_races = nullptr;
 };
 
 } // namespace nosync

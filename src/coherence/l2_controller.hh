@@ -30,6 +30,11 @@ namespace trace
 class TraceSink;
 }
 
+namespace analysis
+{
+class RaceDetector;
+}
+
 /** Interface common to both L2 bank flavours. */
 class L2Controller : public SimObject
 {
@@ -51,10 +56,18 @@ class L2Controller : public SimObject
     virtual std::vector<std::string>
     checkInvariants(bool quiesced) const = 0;
 
+    /** Attach the happens-before race detector (nullptr = disabled). */
+    void setRaceDetector(analysis::RaceDetector *races)
+    {
+        _races = races;
+    }
+
   protected:
     NodeId _node;
     /** Observability sink; nullptr when tracing is disabled. */
     trace::TraceSink *_trace = nullptr;
+    /** Race detector; nullptr when race checking is disabled. */
+    analysis::RaceDetector *_races = nullptr;
 };
 
 } // namespace nosync

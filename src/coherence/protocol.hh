@@ -69,6 +69,15 @@ struct SyncOp
     Scope scope = Scope::Global;
     SyncSemantics sem = SyncSemantics::AcquireRelease;
 
+    /**
+     * Race-detector clock slot of the issuing thread block
+     * (analysis::kNoRaceSlot when race checking is off or the op was
+     * issued outside a TB, e.g. by a unit test driving a controller
+     * directly). Carried on the descriptor so the coherence-side
+     * perform sites can attribute the atomic without a lookup.
+     */
+    std::uint32_t tb = 0xffffffffu;
+
     bool
     isAcquire() const
     {

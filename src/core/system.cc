@@ -15,6 +15,10 @@ System::System(const SystemConfig &config) : _config(config)
                         ? _config.traceCapacity
                         : trace::TraceSink::kDefaultCapacity);
     }
+    if (_config.raceCheckEnabled) {
+        _races =
+            std::make_unique<analysis::RaceDetector>(_config.protocol);
+    }
     _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
     _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh,
                                    _trace.get());
@@ -83,6 +87,13 @@ System::System(const SystemConfig &config) : _config(config)
             bank->setL1s(l1s);
         for (auto &l1 : _denovoL1s)
             l1->setPeers(l1s);
+    }
+
+    if (_races) {
+        for (L1Controller *l1 : _l1s)
+            l1->setRaceDetector(_races.get());
+        for (L2Controller *bank : _l2Banks)
+            bank->setRaceDetector(_races.get());
     }
 }
 
@@ -178,10 +189,12 @@ System::run(Workload &workload)
     };
 
     workload.init(*this);
+    if (_races)
+        _races->setSuppressions(workload.raceSuppressions());
 
     GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
                      _config.seed, _config.kernelLaunchLatency,
-                     _trace.get());
+                     _trace.get(), _races.get());
 
     bool done = false;
     Tick done_tick = 0;
@@ -279,6 +292,23 @@ System::run(Workload &workload)
     if (_config.checkAtQuiesce) {
         for (auto &v : checker.sweepQuiesced())
             result.checkFailures.push_back(std::move(v));
+    }
+    if (_races) {
+        result.races =
+            _races->finalize(result.workload, result.config);
+        for (const analysis::RaceRecord &race : result.races.races) {
+            if (!race.suppressed)
+                result.checkFailures.push_back(
+                    analysis::describeRace(race));
+        }
+        std::uint64_t described =
+            result.races.races.size() - result.races.racesSuppressed;
+        if (result.races.failureCount() > described) {
+            result.checkFailures.push_back(
+                std::to_string(result.races.failureCount() -
+                               described) +
+                " further race(s) past the record cap");
+        }
     }
     stamp_host(result);
     return result;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.hh"
 #include "coherence/denovo_l1.hh"
 #include "coherence/denovo_l2.hh"
 #include "coherence/gpu_l1.hh"
@@ -58,6 +59,13 @@ struct RunResult
 
     /** Populated when the run ended without workload completion. */
     std::optional<HangReport> hang;
+
+    /**
+     * Happens-before race report; enabled only when the run was
+     * race-checked. Derived purely from simulated state, so it is
+     * deterministic like the rest of the simulated fields.
+     */
+    analysis::RaceReport races;
 
     /**
      * Per-transaction-class latency summary, from the trace sink's
@@ -148,6 +156,9 @@ class System : public WorkloadEnv
     /** Trace sink; nullptr unless config().traceEnabled. */
     trace::TraceSink *trace() { return _trace.get(); }
 
+    /** Race detector; nullptr unless config().raceCheckEnabled. */
+    analysis::RaceDetector *races() { return _races.get(); }
+
     /** End of the allocated workload heap (checker memory sweeps). */
     Addr allocTop() const { return _allocNext; }
 
@@ -161,6 +172,7 @@ class System : public WorkloadEnv
     RegionMap _regions;
     /** Declared before the components that hold pointers into it. */
     std::unique_ptr<trace::TraceSink> _trace;
+    std::unique_ptr<analysis::RaceDetector> _races;
     std::unique_ptr<EnergyModel> _energy;
     std::unique_ptr<Mesh> _mesh;
     std::unique_ptr<FaultInjector> _faults;

@@ -69,6 +69,16 @@ struct SystemConfig
     /** Trace ring capacity in events; 0 uses the sink's default. */
     std::size_t traceCapacity = 0;
 
+    /**
+     * Happens-before race checking: when set, the System constructs
+     * an analysis::RaceDetector and wires it into the TB contexts and
+     * every coherence controller. Off by default; like tracing, the
+     * off path never constructs the detector, so checked and
+     * unchecked builds of the same run produce bitwise-identical
+     * simulated results. Unsuppressed races land in checkFailures.
+     */
+    bool raceCheckEnabled = false;
+
     /** Convenience: same machine, different protocol configuration. */
     SystemConfig
     with(const ProtocolConfig &proto) const

@@ -10,7 +10,8 @@ GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
                      std::vector<L1Controller *> cu_l1s,
                      Workload &workload, std::uint64_t seed,
                      Cycles kernel_launch_latency,
-                     trace::TraceSink *trace)
+                     trace::TraceSink *trace,
+                     analysis::RaceDetector *races)
     : SimObject("gpu", eq), _l1s(std::move(cu_l1s)), _energy(energy),
       _workload(workload), _seed(seed),
       _launchLatency(kernel_launch_latency),
@@ -18,7 +19,7 @@ GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
                                             "kernels launched")),
       _tbsExecuted(stats.registerScalar("gpu.tbs_executed",
                                         "thread blocks executed")),
-      _trace(trace)
+      _trace(trace), _races(races)
 {
     panic_if(_l1s.empty(), "GPU device with no compute units");
 }
@@ -71,10 +72,14 @@ GpuDevice::startTbs()
         std::uint64_t tb_seed =
             _seed ^ (0x51ed270b1ull * (_kernel + 1)) ^
             (0x9e3779b97f4a7c15ull * (tb + 1));
+        unsigned race_slot = analysis::kNoRaceSlot;
+        if (_races)
+            race_slot = _races->tbStarted(_kernel, tb, cu);
         _contexts.push_back(std::make_unique<TbContext>(
             eventQueue(), *_l1s[cu], _energy, Rng(tb_seed), _kernel,
             tb, cu, tb_on_cu, num_cus,
-            (info.numTbs + num_cus - 1) / num_cus, _trace));
+            (info.numTbs + num_cus - 1) / num_cus, _trace, _races,
+            race_slot));
     }
 
     // Start after all contexts exist (coroutines may finish
@@ -136,6 +141,13 @@ GpuDevice::onKernelDrained()
     if (_trace) {
         _trace->record(curTick(), trace::Phase::KernelDrain, 0, 0, 0,
                        static_cast<std::uint16_t>(_kernel));
+    }
+    if (_races) {
+        // Kernel drain: the implicit device-wide release/acquire
+        // pair. Every TB's clock joins the device base clock the
+        // next kernel's TBs inherit.
+        for (const auto &ctx : _contexts)
+            _races->tbFinished(ctx->raceSlot());
     }
     _contexts.clear();
     ++_kernel;

@@ -34,7 +34,8 @@ class GpuDevice : public SimObject
               EnergyModel &energy,
               std::vector<L1Controller *> cu_l1s, Workload &workload,
               std::uint64_t seed, Cycles kernel_launch_latency = 300,
-              trace::TraceSink *trace = nullptr);
+              trace::TraceSink *trace = nullptr,
+              analysis::RaceDetector *races = nullptr);
 
     /** Run every kernel; @p on_complete fires after the last drain. */
     void run(DoneCallback on_complete);
@@ -70,6 +71,8 @@ class GpuDevice : public SimObject
     stats::Handle<stats::Scalar> _tbsExecuted;
     /** Observability sink; nullptr when tracing is disabled. */
     trace::TraceSink *_trace = nullptr;
+    /** Race detector; nullptr when race checking is disabled. */
+    analysis::RaceDetector *_races = nullptr;
 };
 
 } // namespace nosync

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.hh"
 #include "coherence/l1_controller.hh"
 #include "energy/energy_model.hh"
 #include "gpu/sim_task.hh"
@@ -34,11 +35,13 @@ class TbContext
     TbContext(EventQueue &eq, L1Controller &l1, EnergyModel &energy,
               Rng rng, unsigned kernel, unsigned tb_global,
               unsigned cu, unsigned tb_on_cu, unsigned num_cus,
-              unsigned tbs_per_cu, trace::TraceSink *trace = nullptr)
+              unsigned tbs_per_cu, trace::TraceSink *trace = nullptr,
+              analysis::RaceDetector *races = nullptr,
+              unsigned race_slot = analysis::kNoRaceSlot)
         : _eq(eq), _l1(l1), _energy(energy), _rng(rng),
           _kernel(kernel), _tbGlobal(tb_global), _cu(cu),
           _tbOnCu(tb_on_cu), _numCus(num_cus), _tbsPerCu(tbs_per_cu),
-          _trace(trace)
+          _trace(trace), _races(races), _raceSlot(race_slot)
     {}
 
     unsigned kernel() const { return _kernel; }
@@ -99,6 +102,27 @@ class TbContext
         return trace::TxnClass::SyncAcqRel;
     }
 
+    // Race checking ---------------------------------------------------
+
+    /** Clock slot assigned by the race detector (kNoRaceSlot = off). */
+    unsigned raceSlot() const { return _raceSlot; }
+
+    /** Record a data load issued now (race checking on). */
+    void
+    noteDataRead(Addr addr)
+    {
+        if (_races)
+            _races->dataRead(_raceSlot, addr, _eq.now());
+    }
+
+    /** Record a data store issued now (race checking on). */
+    void
+    noteDataWrite(Addr addr)
+    {
+        if (_races)
+            _races->dataWrite(_raceSlot, addr, _eq.now());
+    }
+
     // Wait-state tracking (hang diagnostics) --------------------------
 
     /** Record what this TB's coroutine is suspended on. */
@@ -153,6 +177,7 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait("load " + describeAddr(addr));
+                ctx->noteDataRead(addr);
                 txn = ctx->beginTxn(trace::TxnClass::Load, addr);
                 ctx->_l1.load(addr, [this, h](std::uint32_t v) {
                     value = v;
@@ -187,6 +212,8 @@ class TbContext
                 ctx->beginWait(
                     "loadMany of " + std::to_string(addrs.size()) +
                     " words at " + describeAddr(addrs.front()));
+                for (Addr addr : addrs)
+                    ctx->noteDataRead(addr);
                 // One transaction spans the whole coalesced batch:
                 // its latency is the slowest constituent load.
                 txn = ctx->beginTxn(trace::TxnClass::Load,
@@ -234,6 +261,8 @@ class TbContext
                 ctx->beginWait(
                     "storeMany of " + std::to_string(stores.size()) +
                     " words at " + describeAddr(stores.front().first));
+                for (const auto &st : stores)
+                    ctx->noteDataWrite(st.first);
                 txn = ctx->beginTxn(trace::TxnClass::Store,
                                     stores.front().first);
                 remaining = static_cast<unsigned>(stores.size());
@@ -270,6 +299,7 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait("store " + describeAddr(addr));
+                ctx->noteDataWrite(addr);
                 txn = ctx->beginTxn(trace::TxnClass::Store, addr);
                 ctx->_l1.store(addr, value, [this, h] {
                     ctx->endTxn(txn);
@@ -287,6 +317,9 @@ class TbContext
     auto
     atomic(SyncOp op)
     {
+        // Stamp the issuing TB's clock slot so the coherence-side
+        // perform sites can attribute the atomic to this TB.
+        op.tb = _raceSlot;
         struct Awaiter
         {
             TbContext *ctx;
@@ -465,6 +498,10 @@ class TbContext
     unsigned _tbsPerCu;
     /** Observability sink; nullptr when tracing is disabled. */
     trace::TraceSink *_trace = nullptr;
+    /** Race detector; nullptr when race checking is disabled. */
+    analysis::RaceDetector *_races = nullptr;
+    /** This TB's clock slot in the detector. */
+    unsigned _raceSlot = analysis::kNoRaceSlot;
 
     // Wait-state tracking for hang diagnostics.
     std::string _waitWhat;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.hh"
 #include "gpu/sim_task.hh"
 #include "gpu/tb_context.hh"
 #include "sim/types.hh"
@@ -93,6 +94,17 @@ class Workload
      * excluded from the fault harness's golden-run memory comparison.
      */
     virtual bool deterministicOutput() const { return true; }
+
+    /**
+     * Address ranges the race detector should not count as failures,
+     * each with a written justification (rendered in the report).
+     * Called after init(), so ranges may reference allocations.
+     */
+    virtual std::vector<analysis::RaceSuppression>
+    raceSuppressions() const
+    {
+        return {};
+    }
 };
 
 } // namespace nosync

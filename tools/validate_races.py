@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate race-detector JSON reports against the checked-in schema.
+
+Usage: validate_races.py [--require-clean] RACES.json [RACES2.json ...]
+
+Parses each report with the stdlib json module and validates it
+against tools/race_schema.json, reusing the same dependency-free
+JSON-Schema subset as validate_trace.py (type, required, properties,
+enum, items, minimum).
+
+Beyond the schema, enforces the cross-field rules the race detector
+guarantees but vanilla JSON Schema cannot express here:
+
+  * races_detected == len(races) + records_dropped (every unique
+    racing pair is either carried in full or counted as dropped);
+  * races_suppressed == number of races with "suppressed": true, and
+    every suppressed race carries a non-empty suppress_reason;
+  * races are sorted by (second.tick, addr) — the deterministic order
+    that makes --race-check --jobs=N reports identical to serial;
+  * addr parses as hexadecimal ("0x...").
+
+With --require-clean, additionally fails any report whose unsuppressed
+race count (races_detected - races_suppressed) is non-zero — the mode
+CI runs against the paper workloads, which must all be race-free.
+
+Exits 0 if every file validates, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+from validate_trace import check
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "race_schema.json")
+
+
+def check_race_rules(report, errors):
+    """Cross-field rules the schema subset cannot express."""
+    summary = report.get("summary")
+    races = report.get("races")
+    if not isinstance(summary, dict) or not isinstance(races, list):
+        return
+
+    detected = summary.get("races_detected")
+    dropped = summary.get("records_dropped", 0)
+    if isinstance(detected, int) and isinstance(dropped, int):
+        if detected != len(races) + dropped:
+            errors.append(
+                f"$.summary: races_detected {detected} != "
+                f"{len(races)} records + {dropped} dropped")
+
+    suppressed = sum(1 for r in races
+                     if isinstance(r, dict) and r.get("suppressed"))
+    declared = summary.get("races_suppressed")
+    if isinstance(declared, int) and declared != suppressed:
+        errors.append(
+            f"$.summary: races_suppressed {declared} but "
+            f"{suppressed} races carry suppressed=true")
+
+    last_key = None
+    for i, race in enumerate(races):
+        if not isinstance(race, dict):
+            continue
+        path = f"$.races[{i}]"
+        if race.get("suppressed") and not race.get("suppress_reason"):
+            errors.append(f"{path}: suppressed without a reason")
+        addr = race.get("addr")
+        addr_val = None
+        if isinstance(addr, str):
+            try:
+                addr_val = int(addr, 16)
+            except ValueError:
+                errors.append(f"{path}.addr: {addr!r} not hex")
+        second = race.get("second")
+        tick = second.get("tick") if isinstance(second, dict) else None
+        if isinstance(tick, int) and addr_val is not None:
+            key = (tick, addr_val)
+            if last_key is not None and key < last_key:
+                errors.append(
+                    f"{path}: out of (tick, addr) order "
+                    f"{key} after {last_key}")
+            last_key = key
+
+
+def validate_file(path, schema, require_clean):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL {path}: {exc}")
+        return False
+    check(report, schema, "$", errors)
+    check_race_rules(report, errors)
+
+    summary = report.get("summary", {})
+    detected = summary.get("races_detected", 0)
+    suppressed = summary.get("races_suppressed", 0)
+    if require_clean and isinstance(detected, int) and \
+            isinstance(suppressed, int) and detected - suppressed > 0:
+        errors.append(
+            f"$.summary: {detected - suppressed} unsuppressed race(s)"
+            f" but --require-clean was given")
+
+    if errors:
+        print(f"FAIL {path}:")
+        for err in errors[:20]:
+            print(f"  {err}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return False
+    print(f"OK   {path}: {summary.get('data_accesses', 0)} accesses,"
+          f" {summary.get('hb_edges', 0)} HB edges,"
+          f" {detected} race(s) ({suppressed} suppressed)")
+    return True
+
+
+def main(argv):
+    args = argv[1:]
+    require_clean = "--require-clean" in args
+    paths = [a for a in args if a != "--require-clean"]
+    if not paths:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        schema = json.load(f)
+    ok = all([validate_file(p, schema, require_clean) for p in paths])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
