@@ -13,6 +13,7 @@
 #ifndef BENCH_BENCH_UTIL_HH
 #define BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +56,12 @@ struct Options
      * way --trace does, so --jobs=N never contends for one file.
      */
     std::string raceJsonPath;
+    /**
+     * Override SystemConfig::maxCycles, the simulated-cycle hang
+     * cutoff (0 = keep the config default). Long weak-scaling sweeps
+     * raise it; smoke runs lower it to fail fast.
+     */
+    Tick maxCycles = 0;
 
     /**
      * Harness-specific option hook: return true if @p arg was
@@ -101,12 +108,28 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
         } else if (std::strncmp(argv[i], "--race-json=", 12) == 0) {
             opts.raceJsonPath = argv[i] + 12;
             opts.raceCheck = true;
+        } else if (std::strncmp(argv[i], "--max-cycles=", 13) == 0) {
+            // Strict parse: a garbled cycle budget must not silently
+            // run with the default and masquerade as a clean sweep.
+            const char *value = argv[i] + 13;
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long cycles = std::strtoull(value, &end, 10);
+            if (*value == '\0' || end == nullptr || *end != '\0' ||
+                errno == ERANGE || cycles == 0) {
+                std::cerr << "error: --max-cycles expects a positive "
+                             "cycle count, got '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            opts.maxCycles = static_cast<Tick>(cycles);
         } else if (!extra || !extra(argv[i])) {
             std::cerr << "error: unknown option " << argv[i]
                       << "\nusage: " << argv[0]
                       << " [--scale=N] [--jobs=N] [--json=PATH]"
                          " [--trace=PATH] [--race-check]"
-                         " [--race-json=PATH] [--no-breakdowns]"
+                         " [--race-json=PATH] [--max-cycles=N]"
+                         " [--no-breakdowns]"
                       << extra_usage << "\n";
             std::exit(2);
         }
@@ -164,6 +187,8 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
     config.protocol = proto;
     config.traceEnabled = !opts.tracePath.empty();
     config.raceCheckEnabled = opts.raceCheck;
+    if (opts.maxCycles != 0)
+        config.maxCycles = opts.maxCycles;
     if (tweak)
         tweak(config);
     System system(config);
@@ -219,7 +244,8 @@ requireAllOk(const std::vector<RunResult> &results)
 inline std::vector<WorkloadResults>
 runMatrix(const std::vector<std::string> &workloads,
           const std::vector<ProtocolConfig> &configs,
-          const Options &opts)
+          const Options &opts,
+          const std::function<void(SystemConfig &)> &tweak = {})
 {
     struct CellSpec
     {
@@ -239,7 +265,8 @@ runMatrix(const std::vector<std::string> &workloads,
             SweepRunner::log("  running " + *cells[i].workload +
                              " on " + cells[i].proto->shortName() +
                              "...");
-            return runCell(*cells[i].workload, *cells[i].proto, opts);
+            return runCell(*cells[i].workload, *cells[i].proto, opts,
+                           tweak);
         });
     requireAllOk(flat);
 

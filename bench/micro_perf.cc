@@ -7,8 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "coherence/region_map.hh"
 #include "core/system.hh"
 #include "mem/cache_array.hh"
+#include "mem/mshr.hh"
 #include "noc/mesh.hh"
 #include "sim/event_queue.hh"
 #include "workloads/registry.hh"
@@ -57,6 +59,83 @@ BM_MeshSend(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MeshSend);
+
+static void
+BM_MeshSend8x8(benchmark::State &state)
+{
+    EventQueue eq;
+    stats::StatSet stats;
+    MeshParams params;
+    params.width = 8;
+    params.height = 8;
+    Mesh mesh(eq, stats, params);
+    for (auto _ : state) {
+        mesh.send(0, 63, 5, TrafficClass::Read, [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_MeshSend8x8);
+
+static void
+BM_MshrChurn(benchmark::State &state)
+{
+    // Steady-state L1/L2 MSHR traffic: allocate a batch of lines,
+    // re-find each (the handler pattern: callbacks re-find() after
+    // resuming coroutines), then deallocate. Payload sized like the
+    // L2 fetch entry.
+    struct Payload
+    {
+        std::vector<int> waiters;
+        bool flag = false;
+    };
+    MshrTable<Payload> table(64);
+    Addr next = 0;
+    int sink = 0;
+    for (auto _ : state) {
+        for (Addr i = 0; i < 48; ++i)
+            table.allocate((next + i) * kLineBytes);
+        for (Addr i = 0; i < 48; ++i)
+            sink += table.find((next + i) * kLineBytes) != nullptr;
+        for (Addr i = 0; i < 48; ++i)
+            table.deallocate((next + i) * kLineBytes);
+        next += 48;
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_MshrChurn);
+
+static void
+BM_RegionMapProbe(benchmark::State &state)
+{
+    // DD+RO fill-time probe: one isReadOnly per installed word.
+    RegionMap map;
+    for (Addr r = 0; r < 16; ++r)
+        map.addReadOnly(0x10000 + r * 0x1000, 0x800);
+    Addr addr = 0;
+    int sink = 0;
+    for (auto _ : state) {
+        sink += map.isReadOnly(0x10000 + (addr & 0xffff));
+        addr = addr * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RegionMapProbe);
+
+static void
+BM_RegionMapLineMask(benchmark::State &state)
+{
+    RegionMap map;
+    for (Addr r = 0; r < 16; ++r)
+        map.addReadOnly(0x10000 + r * 0x1000, 0x800);
+    Addr line = 0;
+    WordMask sink = 0;
+    for (auto _ : state) {
+        sink ^= map.readOnlyMask(0x10000 + (line & 0xffc0));
+        line += kLineBytes;
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RegionMapLineMask);
 
 static void
 BM_EndToEndNN(benchmark::State &state)

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Weak-scaling sweep: the five studied configurations on growing
+ * meshes — 4x4 (15 CUs + CPU), 6x6 (35 CUs + CPU), and 8x8 (63 CUs +
+ * CPU), with one L2 bank per mesh node so the registry scales with
+ * the machine.
+ *
+ * The paper's question at scale: do the scoped (H*) configurations'
+ * advantages grow with the machine, or does DeNovo's word-granularity
+ * registration keep pace without scopes? Each mesh size runs a
+ * representative global-sync + local-sync workload mix under all five
+ * configs; per-scale figures are normalized to GD at that scale, so
+ * the tables answer the question scale by scale.
+ *
+ * Workloads size themselves from env.numCus(), so the same names run
+ * proportionally more work on bigger meshes (weak scaling). With
+ * `--json=PATH` the harness writes one BENCH record per scale —
+ * stem.4x4.json, stem.6x6.json, stem.8x8.json — keeping cells from
+ * different machines in different records for the perf gate.
+ */
+
+#include "bench_util.hh"
+
+using namespace nosync;
+using namespace nosync::bench;
+
+namespace
+{
+
+struct ScalePoint
+{
+    unsigned dim;
+    const char *label;
+};
+
+constexpr ScalePoint kScales[] = {
+    {4, "4x4"},
+    {6, "6x6"},
+    {8, "8x8"},
+};
+
+/** Per-scale JSON filename: stem.<label>.json. */
+std::string
+scaleJsonPath(const std::string &base, const char *label)
+{
+    std::string::size_type dot = base.rfind('.');
+    std::string::size_type slash = base.rfind('/');
+    std::string stem = base;
+    std::string ext = ".json";
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        stem = base.substr(0, dot);
+        ext = base.substr(dot);
+    }
+    return stem + "." + label + ext;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = Options::parse(argc, argv);
+
+    // A global-sync and a local-sync representative per sync flavor:
+    // fine-grained atomic mutation (FAM), work sharing through a
+    // concurrent stack (SS), and producer/consumer flags (SPM).
+    const std::vector<std::string> workloads = {"FAM_G", "SPM_G",
+                                                "FAM_L", "SS_L"};
+    const std::vector<ProtocolConfig> configs = {
+        ProtocolConfig::gd(), ProtocolConfig::gh(),
+        ProtocolConfig::dd(), ProtocolConfig::ddro(),
+        ProtocolConfig::dh()};
+
+    for (const auto &scale : kScales) {
+        WallTimer timer;
+        unsigned num_cus = scale.dim * scale.dim - 1;
+        auto results =
+            runMatrix(workloads, configs, opts,
+                      [&](SystemConfig &config) {
+                          config.mesh.width = scale.dim;
+                          config.mesh.height = scale.dim;
+                          config.numCus = num_cus;
+                      });
+
+        std::cout << "=== Weak scaling " << scale.label << " ("
+                  << num_cus
+                  << " CUs + CPU, one L2 bank per node): "
+                     "normalized to GD ===\n\n";
+        emitFigure(results, 0,
+                   std::string("Scale-") + scale.label, opts);
+
+        if (!opts.jsonPath.empty()) {
+            SweepRecord record;
+            record.harness =
+                std::string("scale_sweep/") + scale.label;
+            record.jobs = opts.jobs;
+            for (const auto &wr : results) {
+                for (const auto &run : wr.runs)
+                    record.add(run, opts.scalePercent);
+            }
+            record.wallMillis = timer.millis();
+            std::string path =
+                scaleJsonPath(opts.jsonPath, scale.label);
+            if (!record.writeJson(path)) {
+                std::cerr << "error: cannot write " << path << "\n";
+                return 1;
+            }
+            std::cerr << "wrote " << path << " ("
+                      << record.cells.size() << " cells)\n";
+        }
+    }
+    return 0;
+}

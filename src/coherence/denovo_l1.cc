@@ -203,22 +203,21 @@ DenovoL1Cache::evictFrame(CacheLine &victim)
                    bank.handleWriteBack(
                        line_addr, reg_mask, data, _node,
                        [this, line_addr, reg_mask] {
-                           auto it = _wbBuffer.find(line_addr);
-                           panic_if(it == _wbBuffer.end(),
+                           WbEntry *wb = _wbBuffer.find(line_addr);
+                           panic_if(!wb,
                                     "writeback ack without buffer "
                                     "entry");
-                           WbEntry &wb = it->second;
                            for (unsigned w = 0; w < kWordsPerLine;
                                 ++w) {
                                if (!(reg_mask & (1u << w)))
                                    continue;
-                               if (--wb.refs[w] == 0) {
-                                   wb.mask &= ~static_cast<WordMask>(
+                               if (--wb->refs[w] == 0) {
+                                   wb->mask &= ~static_cast<WordMask>(
                                        1u << w);
                                }
                            }
-                           if (wb.mask == 0)
-                               _wbBuffer.erase(it);
+                           if (wb->mask == 0)
+                               _wbBuffer.erase(line_addr);
                            releaseHeldRegistrations(line_addr);
                        });
                });
@@ -230,9 +229,8 @@ DenovoL1Cache::releaseHeldRegistrations(Addr line_addr)
     LineEntry *entry = _mshr.find(line_addr);
     if (!entry || entry->regWaitingWb == 0)
         return;
-    auto wb = _wbBuffer.find(lineAlign(line_addr));
-    WordMask still_buffered =
-        wb == _wbBuffer.end() ? 0 : wb->second.mask;
+    const WbEntry *wb = _wbBuffer.find(line_addr);
+    WordMask still_buffered = wb ? wb->mask : 0;
     WordMask ready = entry->regWaitingWb &
                      static_cast<WordMask>(~still_buffered);
     if (ready == 0)
@@ -274,9 +272,9 @@ DenovoL1Cache::peekLocal(Addr addr, std::uint32_t &value)
             return true;
         }
     }
-    auto wb = _wbBuffer.find(lineAlign(addr));
-    if (wb != _wbBuffer.end() && (wb->second.mask & (1u << w))) {
-        value = wb->second.data[w];
+    const WbEntry *wb = _wbBuffer.find(addr);
+    if (wb && (wb->mask & (1u << w))) {
+        value = wb->data[w];
         return true;
     }
     return false;
@@ -795,9 +793,8 @@ DenovoL1Cache::startDrain(DoneCallback cb)
         // re-register until the ack returns, or the registry could
         // process the requests out of order and accept the stale
         // writeback over the new registration.
-        auto wb = _wbBuffer.find(group.lineAddr);
-        if (wb != _wbBuffer.end()) {
-            WordMask held = to_request & wb->second.mask;
+        if (const WbEntry *wb = _wbBuffer.find(group.lineAddr)) {
+            WordMask held = to_request & wb->mask;
             if (held != 0) {
                 entry.regWaitingWb |= held;
                 to_request &= ~held;
@@ -948,8 +945,8 @@ DenovoL1Cache::performSync(const SyncOp &op, Scope scope,
 
     ++_stats.syncMisses;
     entry.syncRegPending |= bit;
-    auto wb = _wbBuffer.find(line_addr);
-    if (wb != _wbBuffer.end() && (wb->second.mask & bit)) {
+    const WbEntry *wb = _wbBuffer.find(line_addr);
+    if (wb && (wb->mask & bit)) {
         // Writeback in flight: register once it is acknowledged.
         entry.regWaitingWb |= bit;
         return;
@@ -1004,9 +1001,8 @@ DenovoL1Cache::holdsWord(Addr line_addr, unsigned word)
     CacheLine *frame = _array.lookup(line_addr);
     if (frame && frame->wstate[word] == WordState::Registered)
         return true;
-    auto wb = _wbBuffer.find(lineAlign(line_addr));
-    return wb != _wbBuffer.end() &&
-           (wb->second.mask & (1u << word));
+    const WbEntry *wb = _wbBuffer.find(line_addr);
+    return wb && (wb->mask & (1u << word));
 }
 
 void
@@ -1080,8 +1076,8 @@ DenovoL1Cache::processSyncQueue(Addr line_addr, unsigned word)
             !(entry->dataRegPending & bit)) {
             ++_stats.syncMisses;
             entry->syncRegPending |= bit;
-            auto wb = _wbBuffer.find(line_addr);
-            if (wb != _wbBuffer.end() && (wb->second.mask & bit))
+            const WbEntry *wb = _wbBuffer.find(line_addr);
+            if (wb && (wb->mask & bit))
                 entry->regWaitingWb |= bit;
             else
                 issueRegistration(line_addr, bit, true);
@@ -1184,15 +1180,15 @@ DenovoL1Cache::respondReadFwd(Addr line_addr, WordMask mask,
     _energy.l1Access();
     LineData values{};
     CacheLine *frame = _array.lookup(line_addr);
-    auto wb = _wbBuffer.find(line_addr);
+    const WbEntry *wb = _wbBuffer.find(line_addr);
     for (unsigned w = 0; w < kWordsPerLine; ++w) {
         WordMask bit = static_cast<WordMask>(1u << w);
         if (!(mask & bit))
             continue;
         if (frame && frame->wstate[w] != WordState::Invalid)
             values[w] = frame->data[w];
-        else if (wb != _wbBuffer.end() && (wb->second.mask & bit))
-            values[w] = wb->second.data[w];
+        else if (wb && (wb->mask & bit))
+            values[w] = wb->data[w];
         else
             panic("read forward for a word this L1 cannot serve");
     }
@@ -1212,7 +1208,7 @@ DenovoL1Cache::respondTransfer(Addr line_addr, WordMask mask,
     _ownershipTransfers += popcount(mask);
     LineData values{};
     CacheLine *frame = _array.lookup(line_addr);
-    auto wb = _wbBuffer.find(line_addr);
+    const WbEntry *wb = _wbBuffer.find(line_addr);
     for (unsigned w = 0; w < kWordsPerLine; ++w) {
         WordMask bit = static_cast<WordMask>(1u << w);
         if (!(mask & bit))
@@ -1223,8 +1219,8 @@ DenovoL1Cache::respondTransfer(Addr line_addr, WordMask mask,
                                     << " to " << target);
             values[w] = frame->data[w];
             frame->wstate[w] = WordState::Invalid;
-        } else if (wb != _wbBuffer.end() && (wb->second.mask & bit)) {
-            values[w] = wb->second.data[w];
+        } else if (wb && (wb->mask & bit)) {
+            values[w] = wb->data[w];
         } else {
             panic("ownership transfer for a word this L1 does not "
                   "hold");
@@ -1473,12 +1469,12 @@ DenovoL1Cache::snapshot() const
            << " remoteQ=" << entry.remoteQueue.size();
         snap.detail.push_back(os.str());
     });
-    for (const auto &kv : _wbBuffer) {
+    _wbBuffer.forEachSorted([&](Addr line_addr, const WbEntry &wb) {
         std::ostringstream os;
-        os << "writeback line 0x" << std::hex << kv.first
-           << " mask=0x" << kv.second.mask << std::dec;
+        os << "writeback line 0x" << std::hex << line_addr
+           << " mask=0x" << wb.mask << std::dec;
         snap.detail.push_back(os.str());
-    }
+    });
     return snap;
 }
 
@@ -1512,8 +1508,7 @@ DenovoL1Cache::checkInvariants(bool quiesced) const
         fail(os.str());
     }
 
-    for (const auto &kv : _wbBuffer) {
-        const WbEntry &wb = kv.second;
+    _wbBuffer.forEachSorted([&](Addr line_addr, const WbEntry &wb) {
         if (wb.mask == 0)
             fail("empty writeback-buffer entry not reclaimed");
         for (unsigned w = 0; w < kWordsPerLine; ++w) {
@@ -1521,13 +1516,13 @@ DenovoL1Cache::checkInvariants(bool quiesced) const
             bool referenced = wb.refs[w] > 0;
             if (masked != referenced) {
                 std::ostringstream os;
-                os << "writeback line 0x" << std::hex << kv.first
+                os << "writeback line 0x" << std::hex << line_addr
                    << std::dec << " word " << w << ": mask bit "
                    << masked << " vs refcount " << unsigned(wb.refs[w]);
                 fail(os.str());
             }
         }
-    }
+    });
 
     if (quiesced) {
         ControllerSnapshot snap = snapshot();

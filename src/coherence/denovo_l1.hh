@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "mem/line_table.hh"
+
 #include "coherence/cache_timings.hh"
 #include "coherence/denovo_l2.hh"
 #include "coherence/l1_controller.hh"
@@ -330,7 +332,8 @@ class DenovoL1Cache : public L1Controller
     CacheTimings _timings;
     MshrTable<LineEntry> _mshr;
 
-    std::unordered_map<Addr, WbEntry> _wbBuffer;
+    /** Line-keyed, slab-stable: probed by every load's peekLocal. */
+    LineTable<WbEntry> _wbBuffer;
 
     /** Words awaiting data-write registration across all lines. */
     unsigned _pendingWrites = 0;

@@ -232,10 +232,10 @@ DenovoL2Bank::handleRecallData(Addr line_addr, WordMask mask,
         line->dirty |= static_cast<WordMask>(1u << w);
     }
 
-    auto it = _recalls.find(line_addr);
-    panic_if(it == _recalls.end(), "recall data without recall state");
-    it->second.outstanding &= ~mask;
-    if (it->second.outstanding == 0)
+    RecallState *state = _recalls.find(line_addr);
+    panic_if(!state, "recall data without recall state");
+    state->outstanding &= ~mask;
+    if (state->outstanding == 0)
         finishRecall(line_addr);
 }
 
@@ -249,7 +249,9 @@ DenovoL2Bank::finishRecall(Addr line_addr)
     ++_dramWritebacks;
     line->clear();
 
-    RecallState state = std::move(_recalls[line_addr]);
+    RecallState *live = _recalls.find(line_addr);
+    panic_if(!live, "finishing recall without recall state");
+    RecallState state = std::move(*live);
     _recalls.erase(line_addr);
     for (auto &fn : state.deferred)
         scheduleIn(0, std::move(fn));
@@ -497,14 +499,15 @@ DenovoL2Bank::snapshot() const
            << " dramDone=" << entry.dramDone;
         snap.detail.push_back(os.str());
     });
-    for (const auto &kv : _recalls) {
+    _recalls.forEachSorted([&](Addr line_addr,
+                               const RecallState &state) {
         std::ostringstream os;
-        os << "recall line 0x" << std::hex << kv.first
-           << " outstanding=0x" << kv.second.outstanding << std::dec
-           << " deferred=" << kv.second.deferred.size()
-           << " blockedFetches=" << kv.second.blockedFetches.size();
+        os << "recall line 0x" << std::hex << line_addr
+           << " outstanding=0x" << state.outstanding << std::dec
+           << " deferred=" << state.deferred.size()
+           << " blockedFetches=" << state.blockedFetches.size();
         snap.detail.push_back(os.str());
-    }
+    });
     return snap;
 }
 

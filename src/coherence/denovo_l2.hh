@@ -16,7 +16,6 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/cache_timings.hh"
@@ -26,6 +25,7 @@
 #include "coherence/snapshot.hh"
 #include "mem/cache_array.hh"
 #include "mem/functional_mem.hh"
+#include "mem/line_table.hh"
 #include "mem/mshr.hh"
 #include "noc/mesh.hh"
 
@@ -128,7 +128,7 @@ class DenovoL2Bank : public L2Controller
     /** Whether @p line_addr is currently being recalled. */
     bool recalling(Addr line_addr) const
     {
-        return _recalls.count(lineAlign(line_addr)) != 0;
+        return _recalls.contains(line_addr);
     }
 
     Mesh &_mesh;
@@ -178,7 +178,7 @@ class DenovoL2Bank : public L2Controller
         /** Fetches whose install waits on this recall. */
         std::vector<Addr> blockedFetches;
     };
-    std::unordered_map<Addr, RecallState> _recalls;
+    LineTable<RecallState> _recalls;
 
     stats::Handle<stats::Scalar> _reads;
     stats::Handle<stats::Scalar> _registrations;

@@ -7,12 +7,32 @@
  * the current kernel. DD+RO consults this map on fills so read-only
  * words survive acquire self-invalidations. The paper conveys the
  * information through an opcode bit; here the map plays that role.
+ *
+ * The map stores the **union** of every declared range as a sorted,
+ * non-overlapping flat vector, coalescing overlapping and adjacent
+ * declarations at insertion time. That representation is both correct
+ * and fast:
+ *
+ *  - Correct: an earlier `std::map<base, end>` keyed by base consulted
+ *    only the immediate predecessor range of a probed address, so a
+ *    nested or overlapping declaration *shadowed* an earlier covering
+ *    range, and re-declaring the same base with a smaller size
+ *    silently shrank the range. DD+RO would then self-invalidate words
+ *    the program had legitimately declared read-only — wrong sharing
+ *    behavior, not just a slowdown. With coalesced disjoint ranges the
+ *    predecessor check is exact for any declaration pattern.
+ *
+ *  - Fast: `isReadOnly` runs on the fill path (one probe per installed
+ *    word under DD+RO). A branchless binary search over a flat vector
+ *    beats pointer-chasing a red-black tree, and `readOnlyMask` walks
+ *    the (few) ranges overlapping one line instead of probing per word.
  */
 
 #ifndef COHERENCE_REGION_MAP_HH
 #define COHERENCE_REGION_MAP_HH
 
-#include <map>
+#include <algorithm>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -30,7 +50,30 @@ class RegionMap
     {
         if (bytes == 0)
             return;
-        _ranges[base] = base + bytes;
+        Addr end = base + bytes;
+
+        // Coalesce with every range overlapping or adjacent to
+        // [base, end): the map holds the union of all declarations,
+        // so repeated, nested, or overlapping declarations can only
+        // widen coverage, never shrink or shadow it. Declarations are
+        // init-time rare, so the linear splice is fine.
+        std::size_t lo = 0;
+        while (lo < _ranges.size() && _ranges[lo].end < base)
+            ++lo;
+        std::size_t hi = lo;
+        while (hi < _ranges.size() && _ranges[hi].base <= end)
+            ++hi;
+        if (lo < hi) {
+            base = std::min(base, _ranges[lo].base);
+            end = std::max(end, _ranges[hi - 1].end);
+            _ranges.erase(_ranges.begin() +
+                              static_cast<std::ptrdiff_t>(lo),
+                          _ranges.begin() +
+                              static_cast<std::ptrdiff_t>(hi));
+        }
+        _ranges.insert(_ranges.begin() +
+                           static_cast<std::ptrdiff_t>(lo),
+                       Range{base, end});
     }
 
     /** Drop every declared range (e.g. between kernels). */
@@ -40,11 +83,8 @@ class RegionMap
     bool
     isReadOnly(Addr addr) const
     {
-        auto it = _ranges.upper_bound(addr);
-        if (it == _ranges.begin())
-            return false;
-        --it;
-        return addr < it->second;
+        std::size_t i = firstAbove(addr);
+        return i != 0 && addr < _ranges[i - 1].end;
     }
 
     /** Mask of read-only words within the line at @p line_addr. */
@@ -53,20 +93,63 @@ class RegionMap
     {
         if (_ranges.empty())
             return 0;
-        WordMask mask = 0;
         line_addr = lineAlign(line_addr);
-        for (unsigned w = 0; w < kWordsPerLine; ++w) {
-            if (isReadOnly(line_addr + w * kWordBytes))
-                mask |= static_cast<WordMask>(1u << w);
+        Addr line_end = line_addr + kLineBytes;
+
+        // One probe for the line, then walk the ranges overlapping
+        // it; a word is read-only iff its base address is covered.
+        std::size_t i = firstAbove(line_addr);
+        if (i > 0 && _ranges[i - 1].end > line_addr)
+            --i;
+        WordMask mask = 0;
+        for (; i < _ranges.size() && _ranges[i].base < line_end; ++i) {
+            Addr lo = std::max(_ranges[i].base, line_addr);
+            Addr hi = std::min(_ranges[i].end, line_end);
+            unsigned first = static_cast<unsigned>(
+                (lo - line_addr + kWordBytes - 1) / kWordBytes);
+            unsigned last = static_cast<unsigned>(
+                (hi - line_addr + kWordBytes - 1) / kWordBytes);
+            if (first >= last)
+                continue;
+            mask |= static_cast<WordMask>(
+                ((1u << last) - 1u) & ~((1u << first) - 1u));
         }
         return mask;
     }
 
     bool empty() const { return _ranges.empty(); }
 
+    /** Coalesced range count (tests: observes adjacency merging). */
+    std::size_t rangeCount() const { return _ranges.size(); }
+
   private:
-    /** base -> one-past-end, non-overlapping by construction of use. */
-    std::map<Addr, Addr> _ranges;
+    /** A coalesced [base, end) byte range. */
+    struct Range
+    {
+        Addr base;
+        Addr end;
+    };
+
+    /** Index of the first range with base > addr (branchless probe). */
+    std::size_t
+    firstAbove(Addr addr) const
+    {
+        const Range *ranges = _ranges.data();
+        std::size_t lo = 0;
+        std::size_t n = _ranges.size();
+        while (n > 0) {
+            std::size_t half = n >> 1;
+            // Compiles to a conditional move: no data-dependent
+            // branch for the predictor to miss on.
+            bool right = ranges[lo + half].base <= addr;
+            lo = right ? lo + half + 1 : lo;
+            n = right ? n - half - 1 : half;
+        }
+        return lo;
+    }
+
+    /** Sorted, non-overlapping, non-adjacent by construction. */
+    std::vector<Range> _ranges;
 };
 
 } // namespace nosync

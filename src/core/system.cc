@@ -30,6 +30,12 @@ System::System(const SystemConfig &config) : _config(config)
     unsigned num_nodes = _mesh->numNodes();
     fatal_if(_config.numCus >= num_nodes,
              "need at least one non-CU node for the CPU core");
+    // CacheLine packs the per-word owner as int8_t, so NodeId must
+    // fit in [-1, 127]; reject larger meshes at construction instead
+    // of silently truncating owner ids in the registry.
+    fatal_if(num_nodes > 127,
+             "mesh has ", num_nodes,
+             " nodes but CacheLine owner ids are int8_t (max 127)");
 
     bool denovo =
         _config.protocol.protocol == CoherenceProtocol::Denovo;

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Open-addressed, line-address-keyed hash table with slab-stable
+ * payload slots.
+ *
+ * The simulator keys most of its transient per-line state (MSHRs, L2
+ * recall state, writeback buffers) by line address. At small machine
+ * sizes a `std::map` was fine; at 64 mesh nodes the per-access node
+ * allocation and pointer chasing dominate the controller hot paths.
+ * LineTable replaces that with:
+ *
+ *  - an open-addressed index (linear probing, fibonacci hashing,
+ *    backward-shift deletion — no tombstones, so probe chains never
+ *    rot under churn), storing 32-bit slot ids; and
+ *  - a chunked payload slab: slots live in fixed-size chunks that are
+ *    never moved or freed, so **payload pointers stay valid** across
+ *    any sequence of insertions and erasures of *other* keys. Erasing
+ *    a key destroys its payload and recycles the slot via a free
+ *    list, so steady-state churn performs no allocation.
+ *
+ * Growth reallocates only the bucket index, never the slabs — the
+ * pointer-stability contract holds across growth too.
+ */
+
+#ifndef MEM_LINE_TABLE_HH
+#define MEM_LINE_TABLE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+template <typename PayloadT>
+class LineTable
+{
+  public:
+    /** @p expected sizes the initial index (it still grows on demand). */
+    explicit LineTable(std::size_t expected = 0)
+    {
+        std::size_t buckets = 16;
+        while (buckets < expected * 2)
+            buckets *= 2;
+        _buckets.assign(buckets, 0);
+        _shift = shiftFor(buckets);
+    }
+
+    LineTable(const LineTable &) = delete;
+    LineTable &operator=(const LineTable &) = delete;
+
+    ~LineTable() { clear(); }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    /** Payload for @p line_addr, or nullptr. */
+    PayloadT *
+    find(Addr line_addr)
+    {
+        std::size_t bucket = findBucket(lineAlign(line_addr));
+        return bucket == kNoBucket
+                   ? nullptr
+                   : &slot(_buckets[bucket] - 1).payload();
+    }
+
+    const PayloadT *
+    find(Addr line_addr) const
+    {
+        return const_cast<LineTable *>(this)->find(line_addr);
+    }
+
+    bool contains(Addr line_addr) const
+    {
+        return find(line_addr) != nullptr;
+    }
+
+    /** Find-or-default-construct (map-style operator[]). */
+    PayloadT &
+    operator[](Addr line_addr)
+    {
+        if (PayloadT *payload = find(line_addr))
+            return *payload;
+        return insert(line_addr);
+    }
+
+    /**
+     * Insert a fresh default-constructed payload for @p line_addr.
+     * @pre no entry exists for the line
+     */
+    PayloadT &
+    insert(Addr line_addr)
+    {
+        line_addr = lineAlign(line_addr);
+        panic_if(find(line_addr) != nullptr,
+                 "duplicate line-table insert for line ", line_addr);
+        if ((_size + 1) * 2 > _buckets.size())
+            grow();
+
+        std::uint32_t slot_id = takeSlot();
+        Slot &s = slot(slot_id);
+        s.addr = line_addr;
+        new (s.storage) PayloadT();
+        s.live = true;
+
+        std::size_t mask = _buckets.size() - 1;
+        std::size_t bucket = idealBucket(line_addr);
+        while (_buckets[bucket] != 0)
+            bucket = (bucket + 1) & mask;
+        _buckets[bucket] = slot_id + 1;
+        ++_size;
+        return s.payload();
+    }
+
+    /** Destroy the entry for @p line_addr. @return false if absent. */
+    bool
+    erase(Addr line_addr)
+    {
+        line_addr = lineAlign(line_addr);
+        std::size_t bucket = findBucket(line_addr);
+        if (bucket == kNoBucket)
+            return false;
+
+        std::uint32_t slot_id = _buckets[bucket] - 1;
+        Slot &s = slot(slot_id);
+        s.payload().~PayloadT();
+        s.live = false;
+        _freeSlots.push_back(slot_id);
+
+        // Backward-shift deletion: pull displaced entries up so probe
+        // chains stay contiguous without tombstones.
+        std::size_t mask = _buckets.size() - 1;
+        std::size_t hole = bucket;
+        std::size_t probe = hole;
+        while (true) {
+            probe = (probe + 1) & mask;
+            if (_buckets[probe] == 0)
+                break;
+            std::size_t ideal =
+                idealBucket(slot(_buckets[probe] - 1).addr);
+            if (((probe - ideal) & mask) >= ((probe - hole) & mask)) {
+                _buckets[hole] = _buckets[probe];
+                hole = probe;
+            }
+        }
+        _buckets[hole] = 0;
+        --_size;
+        return true;
+    }
+
+    /** Destroy every entry (slabs and index capacity are kept). */
+    void
+    clear()
+    {
+        for (auto &chunk : _chunks) {
+            for (std::size_t i = 0; i < kChunkSlots; ++i) {
+                if (chunk[i].live) {
+                    chunk[i].payload().~PayloadT();
+                    chunk[i].live = false;
+                }
+            }
+        }
+        std::fill(_buckets.begin(), _buckets.end(), 0);
+        _freeSlots.clear();
+        _nextSlot = 0;
+        _size = 0;
+    }
+
+    /**
+     * Iterate live entries in ascending address order (diagnostics
+     * only: costs a sort, but keeps snapshot/report output
+     * deterministic and independent of insertion history).
+     */
+    template <typename Fn>
+    void
+    forEachSorted(Fn &&fn)
+    {
+        for (Slot *s : sortedSlots())
+            fn(s->addr, s->payload());
+    }
+
+    template <typename Fn>
+    void
+    forEachSorted(Fn &&fn) const
+    {
+        for (Slot *s : const_cast<LineTable *>(this)->sortedSlots())
+            fn(s->addr, const_cast<const PayloadT &>(s->payload()));
+    }
+
+  private:
+    static constexpr std::size_t kChunkSlots = 32;
+    static constexpr std::size_t kNoBucket =
+        static_cast<std::size_t>(-1);
+
+    struct Slot
+    {
+        Addr addr = 0;
+        bool live = false;
+        alignas(PayloadT) unsigned char storage[sizeof(PayloadT)];
+
+        PayloadT &
+        payload()
+        {
+            return *std::launder(
+                reinterpret_cast<PayloadT *>(storage));
+        }
+    };
+
+    Slot &
+    slot(std::uint32_t id)
+    {
+        return _chunks[id / kChunkSlots][id % kChunkSlots];
+    }
+
+    static unsigned
+    shiftFor(std::size_t buckets)
+    {
+        unsigned shift = 64;
+        for (std::size_t b = buckets; b > 1; b /= 2)
+            --shift;
+        return shift;
+    }
+
+    std::size_t
+    idealBucket(Addr line_addr) const
+    {
+        // Fibonacci hashing on the line number: multiplicative mix,
+        // then take the top log2(buckets) bits.
+        std::uint64_t h = (line_addr / kLineBytes) *
+                          0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h >> _shift);
+    }
+
+    /** Bucket holding @p line_addr, or kNoBucket. */
+    std::size_t
+    findBucket(Addr line_addr) const
+    {
+        std::size_t mask = _buckets.size() - 1;
+        std::size_t bucket = idealBucket(line_addr);
+        while (_buckets[bucket] != 0) {
+            const Slot &s = const_cast<LineTable *>(this)->slot(
+                _buckets[bucket] - 1);
+            if (s.addr == line_addr)
+                return bucket;
+            bucket = (bucket + 1) & mask;
+        }
+        return kNoBucket;
+    }
+
+    std::uint32_t
+    takeSlot()
+    {
+        if (!_freeSlots.empty()) {
+            std::uint32_t id = _freeSlots.back();
+            _freeSlots.pop_back();
+            return id;
+        }
+        if (_nextSlot == _chunks.size() * kChunkSlots)
+            _chunks.push_back(
+                std::make_unique<Slot[]>(kChunkSlots));
+        return _nextSlot++;
+    }
+
+    /** Double the index and rehash (slots never move). */
+    void
+    grow()
+    {
+        std::vector<std::uint32_t> old = std::move(_buckets);
+        _buckets.assign(old.size() * 2, 0);
+        _shift = shiftFor(_buckets.size());
+        std::size_t mask = _buckets.size() - 1;
+        for (std::uint32_t id_plus1 : old) {
+            if (id_plus1 == 0)
+                continue;
+            std::size_t bucket =
+                idealBucket(slot(id_plus1 - 1).addr);
+            while (_buckets[bucket] != 0)
+                bucket = (bucket + 1) & mask;
+            _buckets[bucket] = id_plus1;
+        }
+    }
+
+    std::vector<Slot *>
+    sortedSlots()
+    {
+        std::vector<Slot *> live;
+        live.reserve(_size);
+        for (std::uint32_t id = 0; id < _nextSlot; ++id) {
+            Slot &s = slot(id);
+            if (s.live)
+                live.push_back(&s);
+        }
+        std::sort(live.begin(), live.end(),
+                  [](const Slot *a, const Slot *b) {
+                      return a->addr < b->addr;
+                  });
+        return live;
+    }
+
+    /** Slot id + 1 per bucket; 0 marks an empty bucket. */
+    std::vector<std::uint32_t> _buckets;
+    unsigned _shift = 60;
+    std::vector<std::unique_ptr<Slot[]>> _chunks;
+    std::vector<std::uint32_t> _freeSlots;
+    std::uint32_t _nextSlot = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace nosync
+
+#endif // MEM_LINE_TABLE_HH

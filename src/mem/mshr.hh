@@ -11,8 +11,7 @@
 #ifndef MEM_MSHR_HH
 #define MEM_MSHR_HH
 
-#include <map>
-
+#include "mem/line_table.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -22,9 +21,10 @@ namespace nosync
 /**
  * MSHR table keyed by line address.
  *
- * Backed by std::map so payload pointers stay valid across
- * insertions: handler code frequently resumes workload coroutines
- * that immediately issue new requests (allocating entries) while the
+ * Backed by an open-addressed LineTable whose payload slots are
+ * slab-stable, so payload pointers stay valid across insertions:
+ * handler code frequently resumes workload coroutines that
+ * immediately issue new requests (allocating entries) while the
  * handler still holds a payload pointer. Erasure still invalidates,
  * so handlers re-find() after running callbacks.
  */
@@ -32,18 +32,26 @@ template <typename PayloadT>
 class MshrTable
 {
   public:
-    explicit MshrTable(std::size_t capacity) : _capacity(capacity) {}
+    explicit MshrTable(std::size_t capacity)
+        : _table(capacity), _capacity(capacity)
+    {
+    }
 
     std::size_t capacity() const { return _capacity; }
-    std::size_t size() const { return _entries.size(); }
-    bool full() const { return _entries.size() >= _capacity; }
+    std::size_t size() const { return _table.size(); }
+    bool full() const { return _table.size() >= _capacity; }
 
     /** Find the entry for @p line_addr, or nullptr. */
     PayloadT *
     find(Addr line_addr)
     {
-        auto it = _entries.find(lineAlign(line_addr));
-        return it == _entries.end() ? nullptr : &it->second;
+        return _table.find(line_addr);
+    }
+
+    const PayloadT *
+    find(Addr line_addr) const
+    {
+        return _table.find(line_addr);
     }
 
     /**
@@ -53,42 +61,39 @@ class MshrTable
     PayloadT &
     allocate(Addr line_addr)
     {
-        line_addr = lineAlign(line_addr);
         panic_if(full(), "MSHR table overflow");
-        auto [it, inserted] = _entries.try_emplace(line_addr);
-        panic_if(!inserted, "duplicate MSHR allocation for line ",
-                 line_addr);
-        return it->second;
+        panic_if(_table.contains(line_addr),
+                 "duplicate MSHR allocation for line ",
+                 lineAlign(line_addr));
+        return _table.insert(line_addr);
     }
 
     /** Release the entry for @p line_addr. */
     void
     deallocate(Addr line_addr)
     {
-        std::size_t erased = _entries.erase(lineAlign(line_addr));
-        panic_if(erased == 0, "deallocating absent MSHR entry");
+        panic_if(!_table.erase(line_addr),
+                 "deallocating absent MSHR entry");
     }
 
-    /** Iterate over all entries (diagnostics only). */
+    /** Iterate over all entries in address order (diagnostics only). */
     template <typename Fn>
     void
     forEach(Fn &&fn)
     {
-        for (auto &kv : _entries)
-            fn(kv.first, kv.second);
+        _table.forEachSorted(std::forward<Fn>(fn));
     }
 
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &kv : _entries)
-            fn(kv.first, kv.second);
+        _table.forEachSorted(std::forward<Fn>(fn));
     }
 
   private:
+    LineTable<PayloadT> _table;
     std::size_t _capacity;
-    std::map<Addr, PayloadT> _entries;
 };
 
 } // namespace nosync

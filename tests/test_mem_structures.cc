@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "coherence/region_map.hh"
 #include "mem/cache_array.hh"
 #include "mem/functional_mem.hh"
+#include "mem/line_table.hh"
 #include "mem/mshr.hh"
 #include "mem/store_buffer.hh"
 
@@ -192,6 +195,45 @@ TEST(Mshr, PointersStableAcrossInserts)
     EXPECT_EQ(table.find(0x0), first);
 }
 
+TEST(Mshr, PointersStableUnderInterleavedChurn)
+{
+    // L1 code keeps WbEntry/LineEntry pointers across protocol
+    // callbacks, so payload addresses must survive arbitrary
+    // interleavings of allocate and deallocate — including slot
+    // recycling and table growth in the backing LineTable.
+    struct Payload
+    {
+        Addr tag = 0;
+        std::vector<int> junk; // non-trivial payload
+    };
+    MshrTable<Payload> table(64);
+    std::vector<std::pair<Addr, Payload *>> live;
+    Addr next = 0;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 5; ++i, ++next) {
+            Addr line = next * kLineBytes;
+            Payload &p = table.allocate(line);
+            p.tag = line;
+            p.junk.assign(8, static_cast<int>(round));
+            live.emplace_back(line, &p);
+        }
+        // Free every other live entry (oldest-first) to churn the
+        // free list and force backward-shift deletions.
+        std::vector<std::pair<Addr, Payload *>> kept;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            if (i % 2 == 0 && live.size() > 8)
+                table.deallocate(live[i].first);
+            else
+                kept.push_back(live[i]);
+        }
+        live = std::move(kept);
+        for (const auto &[line, ptr] : live) {
+            ASSERT_EQ(table.find(line), ptr);
+            EXPECT_EQ(ptr->tag, line);
+        }
+    }
+}
+
 TEST(MshrDeathTest, OverflowPanics)
 {
     struct Payload
@@ -210,6 +252,87 @@ TEST(MshrDeathTest, DuplicateAllocationPanics)
     MshrTable<Payload> table(4);
     table.allocate(0x0);
     EXPECT_DEATH(table.allocate(0x0), "duplicate");
+}
+
+// ---------------------------------------------------------------------
+// LineTable
+// ---------------------------------------------------------------------
+
+TEST(LineTable, InsertFindErase)
+{
+    LineTable<int> table(4);
+    EXPECT_FALSE(table.contains(0x1000));
+    table.insert(0x1000) = 7;
+    EXPECT_TRUE(table.contains(0x1010)); // line-aligned probe
+    ASSERT_NE(table.find(0x1000), nullptr);
+    EXPECT_EQ(*table.find(0x1000), 7);
+    EXPECT_TRUE(table.erase(0x1000));
+    EXPECT_FALSE(table.erase(0x1000));
+    EXPECT_EQ(table.find(0x1000), nullptr);
+    EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LineTable, IndexOperatorFindsOrInserts)
+{
+    LineTable<int> table(4);
+    table[0x2000] = 3;
+    table[0x2008] += 4; // same line
+    EXPECT_EQ(*table.find(0x2000), 7);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(LineTable, GrowthKeepsPayloadsStable)
+{
+    // The bucket index rebuilds on growth but payload slots must not
+    // move: controllers hold payload pointers across growth.
+    LineTable<Addr> table(2);
+    std::vector<std::pair<Addr, Addr *>> live;
+    for (Addr line = 0; line < 200; ++line) {
+        Addr addr = line * kLineBytes;
+        Addr &slot = table.insert(addr);
+        slot = addr;
+        live.emplace_back(addr, &slot);
+    }
+    for (const auto &[addr, ptr] : live) {
+        ASSERT_EQ(table.find(addr), ptr);
+        EXPECT_EQ(*ptr, addr);
+    }
+}
+
+TEST(LineTable, EraseKeepsCollidingEntriesReachable)
+{
+    // Backward-shift deletion: removing one entry must not orphan
+    // entries displaced past it by linear probing. Dense consecutive
+    // lines guarantee probe chains at any table size.
+    LineTable<int> table(4);
+    for (Addr line = 0; line < 64; ++line)
+        table.insert(line * kLineBytes) = static_cast<int>(line);
+    for (Addr line = 0; line < 64; line += 2)
+        EXPECT_TRUE(table.erase(line * kLineBytes));
+    for (Addr line = 1; line < 64; line += 2) {
+        ASSERT_NE(table.find(line * kLineBytes), nullptr);
+        EXPECT_EQ(*table.find(line * kLineBytes),
+                  static_cast<int>(line));
+    }
+    EXPECT_EQ(table.size(), 32u);
+}
+
+TEST(LineTable, ForEachSortedIsAddressOrdered)
+{
+    LineTable<int> table(4);
+    for (Addr line : {7u, 1u, 5u, 3u})
+        table.insert(line * kLineBytes) = static_cast<int>(line);
+    std::vector<Addr> seen;
+    table.forEachSorted(
+        [&](Addr addr, const int &) { seen.push_back(addr); });
+    EXPECT_EQ(seen, (std::vector<Addr>{0x40, 0xc0, 0x140, 0x1c0}));
+}
+
+TEST(LineTableDeathTest, DuplicateInsertPanics)
+{
+    LineTable<int> table(4);
+    table.insert(0x1000);
+    EXPECT_DEATH(table.insert(0x1020), "duplicate");
 }
 
 // ---------------------------------------------------------------------
@@ -287,4 +410,99 @@ TEST(RegionMap, ClearRemovesRanges)
     map.addReadOnly(0x1000, 0x40);
     map.clear();
     EXPECT_FALSE(map.isReadOnly(0x1000));
+    EXPECT_EQ(map.rangeCount(), 0u);
+    EXPECT_EQ(map.readOnlyMask(0x1000), 0u);
+}
+
+// Regression: a declaration nested inside an earlier one must not
+// shadow it. The old base-keyed std::map consulted only the probed
+// address's immediate predecessor range, so after the inner
+// declaration, addresses in the outer range's tail looked writable
+// and DD+RO wrongly self-invalidated them.
+TEST(RegionMap, NestedDeclarationDoesNotShadowOuterRange)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x100); // outer: [0x1000, 0x1100)
+    map.addReadOnly(0x1040, 0x20);  // nested: [0x1040, 0x1060)
+    EXPECT_TRUE(map.isReadOnly(0x10f0)); // outer tail, past nested
+    EXPECT_TRUE(map.isReadOnly(0x1050)); // inside both
+    EXPECT_FALSE(map.isReadOnly(0x1100));
+    EXPECT_EQ(map.rangeCount(), 1u);
+}
+
+// Regression: re-declaring the same base with a smaller size must not
+// shrink the range (the map holds the union of declarations). The old
+// std::map overwrote the end, silently dropping the tail.
+TEST(RegionMap, SameBaseRedeclarationNeverShrinks)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x100);
+    map.addReadOnly(0x1000, 0x40);
+    EXPECT_TRUE(map.isReadOnly(0x1080));
+    EXPECT_TRUE(map.isReadOnly(0x10ff));
+    EXPECT_EQ(map.rangeCount(), 1u);
+}
+
+// Regression: partially overlapping declarations merge into one
+// covering range; the old map kept both bases and predecessor lookup
+// saw only the later, shorter one.
+TEST(RegionMap, OverlappingDeclarationsMerge)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x80);  // [0x1000, 0x1080)
+    map.addReadOnly(0x1060, 0x100); // [0x1060, 0x1160)
+    EXPECT_TRUE(map.isReadOnly(0x1000));
+    EXPECT_TRUE(map.isReadOnly(0x1070));
+    EXPECT_TRUE(map.isReadOnly(0x115f));
+    EXPECT_FALSE(map.isReadOnly(0x1160));
+    EXPECT_EQ(map.rangeCount(), 1u);
+}
+
+TEST(RegionMap, AdjacentDeclarationsCoalesce)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x40);
+    map.addReadOnly(0x1040, 0x40); // abuts the first
+    map.addReadOnly(0x2000, 0x40); // disjoint
+    EXPECT_EQ(map.rangeCount(), 2u);
+    EXPECT_TRUE(map.isReadOnly(0x107f));
+    EXPECT_FALSE(map.isReadOnly(0x1080));
+}
+
+TEST(RegionMap, DeclarationBridgingTwoRangesMergesAll)
+{
+    RegionMap map;
+    map.addReadOnly(0x1000, 0x40);
+    map.addReadOnly(0x3000, 0x40);
+    EXPECT_EQ(map.rangeCount(), 2u);
+    map.addReadOnly(0x1020, 0x2000); // spans the gap and both ranges
+    EXPECT_EQ(map.rangeCount(), 1u);
+    EXPECT_TRUE(map.isReadOnly(0x2000));
+    EXPECT_TRUE(map.isReadOnly(0x303f));
+    EXPECT_FALSE(map.isReadOnly(0x3040));
+}
+
+TEST(RegionMap, MaskAcrossLineBoundaries)
+{
+    RegionMap map;
+    // [0x1020, 0x1060): upper half of line 0x1000, lower half of
+    // line 0x1040.
+    map.addReadOnly(0x1020, 0x40);
+    EXPECT_EQ(map.readOnlyMask(0x1000), 0xff00u);
+    EXPECT_EQ(map.readOnlyMask(0x1040), 0x00ffu);
+    EXPECT_EQ(map.readOnlyMask(0x1080), 0u);
+}
+
+TEST(RegionMap, MaskSeesMergedCoverage)
+{
+    RegionMap map;
+    // Two declarations covering different words of one line, made
+    // non-adjacent so they stay distinct ranges.
+    map.addReadOnly(0x1000, 2 * kWordBytes); // words 0..1
+    map.addReadOnly(0x1020, 2 * kWordBytes); // words 8..9
+    EXPECT_EQ(map.rangeCount(), 2u);
+    EXPECT_EQ(map.readOnlyMask(0x1000), 0x0303u);
+    // A nested re-declaration must not change the mask.
+    map.addReadOnly(0x1000, kWordBytes);
+    EXPECT_EQ(map.readOnlyMask(0x1000), 0x0303u);
 }

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Weak-scaling smoke tests: the simulator must build and run
+ * correctly on meshes beyond the paper's 4x4 machine — up to 8x8
+ * (63 CUs + CPU, one L2 bank per node) — deterministically, and
+ * identically under the parallel sweep runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/sweep_runner.hh"
+#include "test_util.hh"
+#include "workloads/registry.hh"
+
+using namespace nosync;
+
+namespace
+{
+
+SystemConfig
+scaledConfig(unsigned dim)
+{
+    SystemConfig config;
+    config.protocol = ProtocolConfig::dd();
+    config.mesh.width = dim;
+    config.mesh.height = dim;
+    config.numCus = dim * dim - 1;
+    return config;
+}
+
+RunResult
+runScaled(unsigned dim)
+{
+    auto workload = makeScaled("FAM_L", 10);
+    System system(scaledConfig(dim));
+    return system.run(*workload);
+}
+
+/** The simulated metrics that must be identical across runs. */
+void
+expectSimIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.energyTotal, b.energyTotal);
+    EXPECT_EQ(a.trafficTotal, b.trafficTotal);
+    EXPECT_EQ(a.energy, b.energy);
+    EXPECT_EQ(a.traffic, b.traffic);
+}
+
+} // namespace
+
+TEST(Scale, EightByEightBuildsFullMachine)
+{
+    System system(scaledConfig(8));
+    EXPECT_EQ(system.numCus(), 63u);
+    EXPECT_EQ(system.mesh().numNodes(), 64u);
+    EXPECT_EQ(system.numL2Banks(), 64u);
+    // One L1 per CU; the CPU node (63) has none.
+    EXPECT_NO_THROW(system.l1(62));
+    EXPECT_THROW(system.l1(63), std::out_of_range);
+}
+
+TEST(Scale, WorkloadCompletesAtFourAndEightByEight)
+{
+    RunResult small = runScaled(4);
+    RunResult large = runScaled(8);
+    EXPECT_TRUE(small.ok()) << small.checkFailures.size()
+                            << " check failures";
+    EXPECT_TRUE(large.ok()) << large.checkFailures.size()
+                            << " check failures";
+    // Weak scaling: the workload sizes itself from numCus(), so the
+    // big machine does strictly more work and moves more traffic.
+    EXPECT_GT(large.trafficTotal, small.trafficTotal);
+}
+
+TEST(Scale, EightByEightRunIsDeterministic)
+{
+    RunResult first = runScaled(8);
+    RunResult second = runScaled(8);
+    expectSimIdentical(first, second);
+}
+
+TEST(Scale, ParallelSweepMatchesSerialAtScale)
+{
+    // The same 4x4 + 8x8 cells through the sweep runner, serial and
+    // with two workers: simulated results must be identical (host
+    // timings are expected to differ).
+    const unsigned dims[] = {4, 8};
+    auto sweep = [&](unsigned jobs) {
+        SweepRunner runner(jobs);
+        return runner.map(2, [&](std::size_t i) {
+            return runScaled(dims[i]);
+        });
+    };
+    std::vector<RunResult> serial = sweep(1);
+    std::vector<RunResult> parallel = sweep(2);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSimIdentical(serial[i], parallel[i]);
+}
+
+TEST(ScaleDeathTest, MeshBeyondOwnerWidthIsFatal)
+{
+    // CacheLine stores per-word owners as int8_t; a 12x12 mesh (144
+    // nodes) would overflow NodeId 127 and must be rejected up front.
+    EXPECT_DEATH(System system(scaledConfig(12)), "int8_t");
+}
