@@ -62,6 +62,12 @@ struct Options
      * raise it; smoke runs lower it to fail fast.
      */
     Tick maxCycles = 0;
+    /**
+     * Override the race detector's detailed-record cap (0 = keep the
+     * detector default). Implies --race-check: the cap is meaningless
+     * without the detector.
+     */
+    std::size_t raceCap = 0;
 
     /**
      * Harness-specific option hook: return true if @p arg was
@@ -123,13 +129,29 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
                 std::exit(2);
             }
             opts.maxCycles = static_cast<Tick>(cycles);
+        } else if (std::strncmp(argv[i], "--race-cap=", 11) == 0) {
+            // Strict parse: a garbled cap must not silently truncate
+            // at the default and pass a gate it should have failed.
+            const char *value = argv[i] + 11;
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long cap = std::strtoull(value, &end, 10);
+            if (*value == '\0' || end == nullptr || *end != '\0' ||
+                errno == ERANGE || cap == 0) {
+                std::cerr << "error: --race-cap expects a positive "
+                             "record count, got '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            opts.raceCap = static_cast<std::size_t>(cap);
+            opts.raceCheck = true;
         } else if (!extra || !extra(argv[i])) {
             std::cerr << "error: unknown option " << argv[i]
                       << "\nusage: " << argv[0]
                       << " [--scale=N] [--jobs=N] [--json=PATH]"
                          " [--trace=PATH] [--race-check]"
-                         " [--race-json=PATH] [--max-cycles=N]"
-                         " [--no-breakdowns]"
+                         " [--race-json=PATH] [--race-cap=N]"
+                         " [--max-cycles=N] [--no-breakdowns]"
                       << extra_usage << "\n";
             std::exit(2);
         }
@@ -187,6 +209,7 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
     config.protocol = proto;
     config.traceEnabled = !opts.tracePath.empty();
     config.raceCheckEnabled = opts.raceCheck;
+    config.raceRecordCap = opts.raceCap;
     if (opts.maxCycles != 0)
         config.maxCycles = opts.maxCycles;
     if (tweak)

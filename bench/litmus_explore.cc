@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Stateless model checking of the litmus suite: exhaustively explore
+ * thread-block interleavings and message delivery orders for each
+ * litmus program under the five studied configurations, with
+ * DPOR-style pruning (src/explore/).
+ *
+ * Every terminal state is checked against the program's allowed
+ * outcomes and its race expectation (the mis-scoped program must
+ * flag a scope race on GH/DH and be clean on GD/DD/DD+RO). Exit
+ * codes are distinct and never silently degrade:
+ *
+ *   0  every cell explored to an empty frontier, all verdicts pass
+ *   1  a violation: forbidden outcome, race mismatch, hang, or
+ *      replay divergence
+ *   2  usage error
+ *   3  a schedule or wall budget expired before the frontier
+ *      drained (the report carries explored/pruned/remaining
+ *      coverage counts)
+ *
+ * The report JSON (--report=PATH, validated by
+ * tools/validate_explore.py) carries no wall-clock, host, or
+ * job-count fields, so a --jobs=N run is byte-identical to serial —
+ * CI diffs the two.
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "explore/explorer.hh"
+#include "explore/litmus.hh"
+
+using namespace nosync;
+
+namespace
+{
+
+/** Strict unsigned parse; exits 2 on garbage (cf. --max-cycles). */
+unsigned long long
+parseCount(const char *flag, const char *value, bool allow_zero)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (*value == '\0' || end == nullptr || *end != '\0' ||
+        errno == ERANGE || (!allow_zero && parsed == 0)) {
+        std::cerr << "error: " << flag << " expects a "
+                  << (allow_zero ? "count" : "positive count")
+                  << ", got '" << value << "'\n";
+        std::exit(2);
+    }
+    return parsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    explore::ExploreBudget budget;
+    std::string report_path;
+    std::string only_program;
+    std::string only_config;
+
+    auto extra = [&](const char *arg) -> bool {
+        if (std::strncmp(arg, "--schedules=", 12) == 0) {
+            budget.maxSchedules =
+                parseCount("--schedules", arg + 12, false);
+            return true;
+        }
+        if (std::strncmp(arg, "--deliver-depth=", 16) == 0) {
+            // 0 is meaningful: TB interleavings only.
+            budget.deliverDepth = static_cast<unsigned>(
+                parseCount("--deliver-depth", arg + 16, true));
+            return true;
+        }
+        if (std::strcmp(arg, "--no-dpor") == 0) {
+            budget.dpor = false;
+            return true;
+        }
+        if (std::strncmp(arg, "--wall-budget=", 14) == 0) {
+            const char *value = arg + 14;
+            char *end = nullptr;
+            errno = 0;
+            double seconds = std::strtod(value, &end);
+            if (*value == '\0' || end == nullptr || *end != '\0' ||
+                errno == ERANGE || seconds <= 0.0) {
+                std::cerr << "error: --wall-budget expects positive "
+                             "seconds, got '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            budget.maxWallSeconds = seconds;
+            return true;
+        }
+        if (std::strncmp(arg, "--report=", 9) == 0) {
+            report_path = arg + 9;
+            return true;
+        }
+        if (std::strncmp(arg, "--program=", 10) == 0) {
+            only_program = arg + 10;
+            return true;
+        }
+        if (std::strncmp(arg, "--config=", 9) == 0) {
+            only_config = arg + 9;
+            return true;
+        }
+        return false;
+    };
+
+    bench::Options opts = bench::Options::parse(
+        argc, argv, extra,
+        " [--schedules=N] [--deliver-depth=N] [--no-dpor]"
+        " [--wall-budget=SECONDS] [--program=NAME] [--config=NAME]"
+        " [--report=PATH]");
+    if (opts.maxCycles != 0)
+        budget.maxCyclesPerSchedule = opts.maxCycles;
+
+    std::vector<std::string> programs;
+    for (const std::string &name : explore::litmusSuite()) {
+        if (only_program.empty() || only_program == name)
+            programs.push_back(name);
+    }
+    if (programs.empty()) {
+        std::cerr << "error: unknown litmus program '" << only_program
+                  << "'\n";
+        return 2;
+    }
+
+    const std::vector<ProtocolConfig> all_configs = {
+        ProtocolConfig::gd(), ProtocolConfig::gh(),
+        ProtocolConfig::dd(), ProtocolConfig::ddro(),
+        ProtocolConfig::dh()};
+    std::vector<ProtocolConfig> configs;
+    for (const ProtocolConfig &proto : all_configs) {
+        if (only_config.empty() || only_config == proto.shortName())
+            configs.push_back(proto);
+    }
+    if (configs.empty()) {
+        std::cerr << "error: unknown config '" << only_config
+                  << "' (GD, GH, DD, DD+RO, DH)\n";
+        return 2;
+    }
+
+    SweepRunner runner(opts.jobs);
+    explore::Explorer explorer(budget, runner);
+
+    explore::ExploreReport report;
+    report.budget = budget;
+    for (const std::string &program : programs) {
+        for (const ProtocolConfig &proto : configs) {
+            SweepRunner::log("  exploring " + program + " on " +
+                             proto.shortName() + "...");
+            report.cells.push_back(
+                explorer.exploreCell(program, proto));
+        }
+    }
+
+    std::cout << "== litmus exploration ("
+              << (budget.dpor ? "DPOR" : "full enumeration")
+              << ", deliver depth " << budget.deliverDepth
+              << ") ==\n";
+    explore::renderExploreReport(report, std::cout);
+
+    std::uint64_t failed = report.countVerdict("fail");
+    std::uint64_t exhausted =
+        report.countVerdict("budget-exhausted");
+    if (failed != 0) {
+        std::cout << "\nFAIL: " << failed
+                  << " cell(s) with violations\n";
+    }
+    if (exhausted != 0) {
+        // Coverage report, loud and distinct: a budget-limited
+        // exploration must never read as a clean pass.
+        std::uint64_t frontier = 0;
+        for (const explore::CellReport &cell : report.cells)
+            frontier += cell.frontierRemaining;
+        std::cout << "\nBUDGET EXHAUSTED: " << exhausted
+                  << " cell(s) incomplete, " << frontier
+                  << " frontier schedule(s) unexplored (raise "
+                     "--schedules / --wall-budget)\n";
+    }
+    if (failed == 0 && exhausted == 0) {
+        std::cout << "\nall cells explored to an empty frontier\n";
+    }
+
+    if (!report_path.empty()) {
+        if (!explore::writeExploreJsonFile(report, report_path)) {
+            std::cerr << "error: cannot write " << report_path
+                      << "\n";
+            return 1;
+        }
+        std::cerr << "wrote " << report_path << " ("
+                  << report.cells.size() << " cells)\n";
+    }
+    return report.exitCode();
+}

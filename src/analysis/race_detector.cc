@@ -196,7 +196,7 @@ RaceDetector::report(Addr addr, const Access &prev, unsigned slot,
             break;
         }
     }
-    if (_races.size() < kMaxRecords)
+    if (_races.size() < _maxRecords)
         _races.push_back(std::move(record));
     else
         ++_recordsDropped;
@@ -363,6 +363,7 @@ RaceDetector::finalize(const std::string &workload,
     report.wordsTracked = _shadow.size();
     report.racesDetected = _racesDetected;
     report.recordsDropped = _recordsDropped;
+    report.truncated = _recordsDropped != 0;
     report.races = std::move(_races);
     _races.clear();
     for (const RaceRecord &race : report.races) {
@@ -442,6 +443,7 @@ writeRaceJson(const RaceReport &report, const std::string &path)
     json.key("races_detected").value(report.racesDetected);
     json.key("races_suppressed").value(report.racesSuppressed);
     json.key("records_dropped").value(report.recordsDropped);
+    json.key("truncated").value(report.truncated);
     json.endObject();
 
     json.key("races").beginArray();

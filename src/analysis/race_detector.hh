@@ -120,6 +120,14 @@ struct RaceReport
     std::uint64_t racesSuppressed = 0;
     std::uint64_t recordsDropped = 0; ///< unique races past the cap
 
+    /**
+     * The record cap hit: some racing pairs are counted but carry no
+     * detail record. A truncated report must not satisfy a
+     * --require-clean gate even if every *carried* record is
+     * suppressed — the dropped ones were never classified.
+     */
+    bool truncated = false;
+
     /** Detailed records, sorted by (second.tick, addr). */
     std::vector<RaceRecord> races;
 
@@ -148,10 +156,23 @@ bool writeRaceJson(const RaceReport &report, const std::string &path);
 class RaceDetector
 {
   public:
-    /** Detailed race records kept before counting-only mode. */
+    /** Default detailed-record cap before counting-only mode. */
     static constexpr std::size_t kMaxRecords = 128;
 
     explicit RaceDetector(const ProtocolConfig &config);
+
+    /**
+     * Override the detailed-record cap (--race-cap=N in the
+     * harnesses). Races past the cap are still *counted* (and flip
+     * RaceReport::truncated); only their detail records are dropped.
+     */
+    void
+    setRecordCap(std::size_t cap)
+    {
+        _maxRecords = cap ? cap : kMaxRecords;
+    }
+
+    std::size_t recordCap() const { return _maxRecords; }
 
     // Thread-block lifecycle (GpuDevice) ------------------------------
 
@@ -269,6 +290,7 @@ class RaceDetector
     std::set<std::tuple<Addr, std::uint32_t, std::uint32_t>> _seen;
     std::vector<RaceSuppression> _suppressions;
 
+    std::size_t _maxRecords = kMaxRecords;
     std::uint64_t _dataAccesses = 0;
     std::uint64_t _syncPerforms = 0;
     std::uint64_t _hbEdges = 0;

@@ -25,10 +25,21 @@ namespace nosync
 /** Everything known about a run that failed to complete. */
 struct HangReport
 {
+    /**
+     * Structured reason codes, stable for machine matching (the
+     * exploration driver and harness scripts branch on these; the
+     * human-readable `reason` string is free to change).
+     */
+    static constexpr const char *kDeadlock = "deadlock";
+    static constexpr const char *kBudgetExhausted = "budget-exhausted";
+
     /** Tick at which the run was declared hung. */
     Tick tick = 0;
 
-    /** "deadlock" (queue empty) or "watchdog" (cycle limit). */
+    /** kDeadlock (queue empty) or kBudgetExhausted (cycle budget). */
+    std::string reasonCode;
+
+    /** Human-readable elaboration of reasonCode. */
     std::string reason;
 
     std::string workload;

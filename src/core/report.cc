@@ -131,6 +131,7 @@ renderHangReport(const HangReport &report)
 {
     std::ostringstream os;
     os << "== HANG REPORT ==\n";
+    os << "code:      " << report.reasonCode << "\n";
     os << "reason:    " << report.reason << "\n";
     os << "tick:      " << report.tick << "\n";
     os << "reproduce: workload=" << report.workload

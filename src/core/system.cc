@@ -18,6 +18,8 @@ System::System(const SystemConfig &config) : _config(config)
     if (_config.raceCheckEnabled) {
         _races =
             std::make_unique<analysis::RaceDetector>(_config.protocol);
+        if (_config.raceRecordCap != 0)
+            _races->setRecordCap(_config.raceRecordCap);
     }
     _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
     _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh,
@@ -200,7 +202,7 @@ System::run(Workload &workload)
 
     GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
                      _config.seed, _config.kernelLaunchLatency,
-                     _trace.get(), _races.get());
+                     _trace.get(), _races.get(), _tbScheduler);
 
     bool done = false;
     Tick done_tick = 0;
@@ -253,12 +255,19 @@ System::run(Workload &workload)
     if (!done) {
         HangReport report;
         report.tick = _eq.now();
-        report.reason =
-            _eq.empty() ? "deadlock: event queue empty before "
-                          "workload completion"
-                        : "watchdog: cycle limit (" +
-                              std::to_string(_config.maxCycles) +
-                              ") exceeded";
+        if (_eq.empty()) {
+            report.reasonCode = HangReport::kDeadlock;
+            report.reason = "deadlock: event queue empty before "
+                            "workload completion";
+        } else {
+            // The --max-cycles budget expired: not a bare truncation
+            // but a structured, machine-matchable verdict, so a
+            // wedged schedule during exploration is diagnosable.
+            report.reasonCode = HangReport::kBudgetExhausted;
+            report.reason = "watchdog: cycle budget (" +
+                            std::to_string(_config.maxCycles) +
+                            ") exhausted";
+        }
         report.workload = result.workload;
         report.config = result.config;
         report.faultsEnabled = _config.faults.enabled;

@@ -159,6 +159,26 @@ class System : public WorkloadEnv
     /** Race detector; nullptr unless config().raceCheckEnabled. */
     analysis::RaceDetector *races() { return _races.get(); }
 
+    // Exploration seams (bench/litmus_explore) ------------------------
+    /**
+     * Attach a thread-block scheduler before run(); the GpuDevice
+     * threads it into every TbContext so the scheduler controls which
+     * ready TB issues at each quantum. Null (the default) issues
+     * inline — the normal, bitwise-identical path.
+     */
+    void setTbScheduler(TbScheduler *sched) { _tbScheduler = sched; }
+
+    /**
+     * Attach a message-delivery policy before run(). Overrides the
+     * FaultInjector the config may have installed; at most one policy
+     * drives a mesh.
+     */
+    void
+    setDeliveryPolicy(DeliveryPolicy *policy)
+    {
+        _mesh->setDeliveryPolicy(policy);
+    }
+
     /** End of the allocated workload heap (checker memory sweeps). */
     Addr allocTop() const { return _allocNext; }
 
@@ -186,6 +206,8 @@ class System : public WorkloadEnv
 
     Addr _allocNext = kAllocBase;
     bool _ran = false;
+    /** Exploration scheduler; nullptr outside model checking. */
+    TbScheduler *_tbScheduler = nullptr;
 };
 
 } // namespace nosync

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Replayable decision log for the stateless model checker.
+ *
+ * An exploration run is driven by two cooperating hooks — the
+ * ExploringScheduler (which ready thread block issues next) and the
+ * ExploringPolicy (when a mesh message is delivered). Both consult a
+ * shared ChoiceScript at every choice point with more than one
+ * option, and both append a ChoicePoint to a shared DecisionLog.
+ *
+ * The script is simply the sequence of branch indices consumed at
+ * fanout>1 points, in encounter order. Because the simulator is
+ * deterministic, replaying a script reproduces the identical run; a
+ * schedule-tree node is therefore identified by its consumed-choice
+ * prefix, and forcing one alternative branch is appending one index.
+ * Past the end of the script every choice defaults to branch 0.
+ */
+
+#ifndef EXPLORE_DECISION_LOG_HH
+#define EXPLORE_DECISION_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/tb_scheduler.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+namespace explore
+{
+
+/** One recorded choice point (TB issue or message delivery). */
+struct ChoicePoint
+{
+    enum class Kind : std::uint8_t
+    {
+        TbIssue,  ///< which ready thread block advances
+        Delivery, ///< when a mesh message arrives
+    };
+
+    Kind kind = Kind::TbIssue;
+    Tick tick = 0;            ///< simulated tick of the decision
+    unsigned numOptions = 1;  ///< branching factor
+    unsigned chosen = 0;      ///< branch taken
+    bool consumedScript = false; ///< fanout>1: used a script slot
+
+    /** TbIssue: the ready candidates, sorted by (kernel, tb). */
+    std::vector<TbOp> candidates;
+
+    /** Delivery: the perturbed message. */
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    Tick nominal = 0;       ///< unperturbed arrival
+    Tick arrival = 0;       ///< chosen (FIFO-clamped) arrival
+
+    bool
+    operator==(const ChoicePoint &other) const
+    {
+        if (kind != other.kind || tick != other.tick ||
+            numOptions != other.numOptions ||
+            chosen != other.chosen ||
+            consumedScript != other.consumedScript ||
+            src != other.src || dst != other.dst ||
+            nominal != other.nominal || arrival != other.arrival ||
+            candidates.size() != other.candidates.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            const TbOp &a = candidates[i];
+            const TbOp &b = other.candidates[i];
+            if (a.kernel != b.kernel || a.tbGlobal != b.tbGlobal ||
+                a.cu != b.cu || a.addr != b.addr || a.kind != b.kind)
+                return false;
+        }
+        return true;
+    }
+};
+
+/** The full decision trace of one schedule (record/replay unit). */
+struct DecisionLog
+{
+    std::vector<ChoicePoint> points;
+
+    bool
+    operator==(const DecisionLog &other) const
+    {
+        return points == other.points;
+    }
+};
+
+/**
+ * Branch indices to force, consumed in encounter order at fanout>1
+ * choice points. Records what was actually consumed so the driver
+ * can name the schedule-tree node this run landed on.
+ */
+class ChoiceScript
+{
+  public:
+    ChoiceScript() = default;
+    explicit ChoiceScript(std::vector<unsigned> forced)
+        : _forced(std::move(forced))
+    {}
+
+    /**
+     * Consume the next choice at a point with @p numOptions > 1
+     * branches. Beyond the scripted prefix the default is branch 0.
+     * A forced index out of range marks the replay diverged (the
+     * tree the script was recorded against no longer matches) and
+     * clamps — the driver must treat a diverged run as a hard error.
+     */
+    unsigned
+    take(unsigned numOptions)
+    {
+        unsigned choice = 0;
+        if (_next < _forced.size()) {
+            choice = _forced[_next];
+            if (choice >= numOptions) {
+                _diverged = true;
+                choice = numOptions - 1;
+            }
+        }
+        ++_next;
+        _consumed.push_back(choice);
+        return choice;
+    }
+
+    /** Choices consumed so far (the run's schedule-tree path). */
+    const std::vector<unsigned> &consumed() const { return _consumed; }
+
+    /** Whether any forced index failed to match the live tree. */
+    bool diverged() const { return _diverged; }
+
+  private:
+    std::vector<unsigned> _forced;
+    std::vector<unsigned> _consumed;
+    std::size_t _next = 0;
+    bool _diverged = false;
+};
+
+} // namespace explore
+} // namespace nosync
+
+#endif // EXPLORE_DECISION_LOG_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Stateless model checking driver: exhaustive schedule exploration of
+ * the litmus suite with DPOR-style pruning.
+ *
+ * The explorer maintains a schedule tree per (program, config) cell.
+ * A tree node is a fanout>1 choice point, identified by the
+ * consumed-choice prefix that reaches it; running a schedule means
+ * replaying a script (decision_log.hh) through a fresh System with
+ * the ExploringScheduler and ExploringPolicy attached. After each run
+ * the decision log is folded back into the tree:
+ *
+ *  - every visited node records its branching factor and the branch
+ *    taken (the done set);
+ *  - delivery nodes enumerate all branches (the delay-bounded space
+ *    is small by construction);
+ *  - TB-issue nodes get backtrack points from the classic
+ *    Flanagan–Godefroid clock-vector analysis: for each pair of
+ *    conflicting, concurrent operations the decision point of the
+ *    earlier one must also try the branch that runs the later one's
+ *    thread block first. Branches never added to a backtrack set are
+ *    pruned — counted, not run.
+ *
+ * Unexplored (backtrack minus done) branches form the frontier; waves
+ * of frontier schedules fan out through a SweepRunner and merge in
+ * job-index order, so reports are bitwise identical for any --jobs=N.
+ *
+ * Budgets degrade gracefully, never silently: a cell that exhausts
+ * its schedule or wall budget reports verdict "budget-exhausted" with
+ * the explored/pruned/remaining-frontier coverage counts, and the
+ * harness exits with a distinct code (3).
+ */
+
+#ifndef EXPLORE_EXPLORER_HH
+#define EXPLORE_EXPLORER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coherence/protocol.hh"
+#include "runner/sweep_runner.hh"
+#include "sim/types.hh"
+
+namespace nosync
+{
+namespace explore
+{
+
+/** Exploration limits; every limit degrades to a coverage report. */
+struct ExploreBudget
+{
+    /** Schedules to run per (program, config) cell. */
+    std::uint64_t maxSchedules = 4096;
+
+    /** Cycle watchdog per schedule (a wedged schedule is a verdict,
+     * not a timeout). */
+    Tick maxCyclesPerSchedule = 2000000;
+
+    /** Delivery delays allowed per schedule (delay bounding). */
+    unsigned deliverDepth = 1;
+
+    /** DPOR pruning; false enumerates every branch (reference mode,
+     * for auditing what pruning skipped). */
+    bool dpor = true;
+
+    /**
+     * Wall-clock budget for the whole harness invocation, seconds;
+     * 0 = unlimited. When it fires mid-cell the verdict degrades to
+     * budget-exhausted, so a wall-limited report is NOT comparable
+     * across machines — leave it 0 for the --jobs determinism check.
+     */
+    double maxWallSeconds = 0.0;
+};
+
+/** One terminal-state outcome and how often it was reached. */
+struct OutcomeCount
+{
+    std::string outcome;
+    std::uint64_t count = 0;
+    bool allowed = false;
+};
+
+/** Exploration result of one (program, config) cell. */
+struct CellReport
+{
+    std::string program;
+    std::string config;
+    std::string verdict; ///< "pass" | "fail" | "budget-exhausted"
+    bool expectScopeRace = false;
+
+    std::uint64_t schedulesExplored = 0;
+    std::uint64_t schedulesPruned = 0;   ///< branches DPOR skipped
+    std::uint64_t frontierRemaining = 0; ///< unexplored backtracks
+    std::uint64_t choicePoints = 0;      ///< decisions, all runs
+    std::uint64_t maxDepth = 0;          ///< deepest fanout>1 path
+
+    std::uint64_t cleanSchedules = 0; ///< race-free terminal states
+    std::uint64_t racySchedules = 0;  ///< terminal states with races
+
+    /** Sorted by outcome string (deterministic). */
+    std::vector<OutcomeCount> outcomes;
+
+    /** First kMaxViolations violation descriptions. */
+    std::vector<std::string> violations;
+    std::uint64_t violationsTotal = 0;
+
+    static constexpr std::size_t kMaxViolations = 32;
+};
+
+/** Full report of one harness invocation. */
+struct ExploreReport
+{
+    ExploreBudget budget;
+    std::vector<CellReport> cells;
+
+    std::uint64_t countVerdict(const char *verdict) const;
+    bool allPass() const;
+
+    /** 0 all pass, 1 any fail, 3 any budget-exhausted. */
+    int exitCode() const;
+};
+
+/** Runs cells; shares one wall budget across all of them. */
+class Explorer
+{
+  public:
+    Explorer(const ExploreBudget &budget, SweepRunner &runner);
+
+    /** Exhaustively explore one (program, config) cell. */
+    CellReport exploreCell(const std::string &program,
+                           const ProtocolConfig &proto);
+
+    const ExploreBudget &budget() const { return _budget; }
+
+  private:
+    bool wallExpired() const;
+
+    ExploreBudget _budget;
+    SweepRunner &_runner;
+    std::chrono::steady_clock::time_point _start;
+};
+
+/**
+ * Emit the schema_version-ed exploration report. Contains no
+ * wall-clock, host, or job-count fields: reports from --jobs=N and
+ * serial runs of the same exploration are byte-identical.
+ */
+void writeExploreJson(const ExploreReport &report, std::ostream &os);
+
+/** writeExploreJson to @p path; false (with perror) on I/O failure. */
+bool writeExploreJsonFile(const ExploreReport &report,
+                          const std::string &path);
+
+/** Render a human-readable per-cell summary table. */
+void renderExploreReport(const ExploreReport &report,
+                         std::ostream &os);
+
+} // namespace explore
+} // namespace nosync
+
+#endif // EXPLORE_EXPLORER_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * TbScheduler that serializes thread-block issue under script control.
+ *
+ * Every ready operation is held instead of issuing inline; held
+ * operations are released one at a time, at *decision points*, so the
+ * issue order is a free choice the explorer enumerates. A decision
+ * point is reached when the simulator goes idle: the event queue is
+ * empty, or its earliest event is further than kIdleHorizon ticks
+ * away (a thread block sleeping in a long wait() must not let the
+ * ready operations of other blocks starve behind it — on hardware,
+ * one CU napping does not stall another CU's issue). Until then a
+ * per-tick watchdog event keeps watch, which also keeps the event
+ * queue non-empty while operations are held, so a run with held
+ * operations can never be misreported as a deadlock.
+ *
+ * At each decision the held operations are sorted by the total key
+ * (kernel, tbGlobal) — a suspended coroutine holds at most one
+ * operation, so the key is unique — the ChoiceScript picks the
+ * candidate when there is more than one, the choice point is
+ * recorded, and exactly that operation issues. The released
+ * operation's protocol activity then runs to the next idle point
+ * before the following decision, giving the classic stateless-model-
+ * checking semantics: one thread-block step at a time, every
+ * interleaving of steps reachable by script.
+ */
+
+#ifndef EXPLORE_EXPLORING_SCHEDULER_HH
+#define EXPLORE_EXPLORING_SCHEDULER_HH
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "explore/decision_log.hh"
+#include "sim/event_queue.hh"
+#include "sim/tb_scheduler.hh"
+
+namespace nosync
+{
+namespace explore
+{
+
+/** Script-driven serialization of thread-block issue order. */
+class ExploringScheduler : public TbScheduler
+{
+  public:
+    /**
+     * Queue gaps larger than this count as idle: protocol activity
+     * schedules events a few (at most a few hundred) ticks out,
+     * while the litmus programs' deliberate delays are tens of
+     * thousands — a gap past this horizon means every in-flight
+     * operation has drained and only sleeping thread blocks remain.
+     */
+    static constexpr Cycles kIdleHorizon = 1000;
+
+    ExploringScheduler(EventQueue &eq, ChoiceScript &script,
+                       DecisionLog &log)
+        : _eq(eq), _script(script), _log(log)
+    {}
+
+    void
+    issue(const TbOp &op, std::function<void()> go) override
+    {
+        _pending.push_back({op, std::move(go)});
+        armWatchdog(_eq.now());
+    }
+
+    /** Total issue decisions taken (fanout 1 included). */
+    std::uint64_t decisions() const { return _decisions; }
+
+  private:
+    struct Held
+    {
+        TbOp op;
+        std::function<void()> go;
+    };
+
+    void
+    armWatchdog(Tick when)
+    {
+        if (_armed)
+            return;
+        _armed = true;
+        // Stats is the lowest same-tick priority: every operation
+        // that becomes ready this tick lands in _pending, and all
+        // protocol events run, before idleness is judged.
+        _eq.schedule(when, [this] { tick(); }, EventPriority::Stats);
+    }
+
+    bool
+    idle() const
+    {
+        return _eq.empty() ||
+               _eq.nextEventTick() > _eq.now() + kIdleHorizon;
+    }
+
+    void
+    tick()
+    {
+        _armed = false;
+        if (_pending.empty())
+            return;
+        if (idle())
+            decide();
+        if (!_pending.empty())
+            armWatchdog(_eq.now() + 1);
+    }
+
+    void
+    decide()
+    {
+        std::sort(_pending.begin(), _pending.end(),
+                  [](const Held &a, const Held &b) {
+                      if (a.op.kernel != b.op.kernel)
+                          return a.op.kernel < b.op.kernel;
+                      return a.op.tbGlobal < b.op.tbGlobal;
+                  });
+
+        unsigned n = static_cast<unsigned>(_pending.size());
+        unsigned choice = 0;
+        bool consumed = false;
+        if (n > 1) {
+            choice = _script.take(n);
+            consumed = true;
+        }
+
+        ChoicePoint point;
+        point.kind = ChoicePoint::Kind::TbIssue;
+        point.tick = _eq.now();
+        point.numOptions = n;
+        point.chosen = choice;
+        point.consumedScript = consumed;
+        point.candidates.reserve(n);
+        for (const Held &held : _pending)
+            point.candidates.push_back(held.op);
+        _log.points.push_back(std::move(point));
+        ++_decisions;
+
+        Held chosen = std::move(_pending[choice]);
+        _pending.erase(_pending.begin() +
+                       static_cast<std::ptrdiff_t>(choice));
+        chosen.go();
+    }
+
+    EventQueue &_eq;
+    ChoiceScript &_script;
+    DecisionLog &_log;
+    std::vector<Held> _pending;
+    bool _armed = false;
+    std::uint64_t _decisions = 0;
+};
+
+} // namespace explore
+} // namespace nosync
+
+#endif // EXPLORE_EXPLORING_SCHEDULER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Litmus programs for the stateless model checker.
+ *
+ * Each program is a small, spin-free Workload whose interesting
+ * behavior is a handful of memory operations racing through the
+ * simulated protocol stack. Spin-freedom matters: a spinning consumer
+ * makes the schedule space unbounded (every extra poll is a new
+ * interleaving), so the classic shapes are recast with conditional
+ * reads — e.g. message passing reads the data word only when the flag
+ * acquire actually observed the publication.
+ *
+ * A LitmusWorkload extends Workload with the verdict interface the
+ * explorer checks on every terminal state: the observed outcome
+ * string, the set of outcomes the configuration's consistency model
+ * allows, and whether the program must flag a scope race (the
+ * mis-scoped message-passing program does, exactly on the HRF
+ * configurations).
+ */
+
+#ifndef EXPLORE_LITMUS_HH
+#define EXPLORE_LITMUS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/workload.hh"
+
+namespace nosync
+{
+namespace explore
+{
+
+/** A litmus program: a workload plus its allowed-outcome oracle. */
+class LitmusWorkload : public Workload
+{
+  public:
+    /** Observed outcome of a completed run, e.g. "f=1 d=41". */
+    virtual std::string outcome(WorkloadEnv &env) = 0;
+
+    /** Whether @p outcome is permitted under @p proto. */
+    virtual bool allowed(const std::string &outcome,
+                         const ProtocolConfig &proto) const = 0;
+
+    /**
+     * Whether every schedule must flag a scope race under @p proto.
+     * True only for deliberately mis-scoped programs on HRF configs.
+     */
+    virtual bool
+    expectScopeRace(const ProtocolConfig &proto) const
+    {
+        (void)proto;
+        return false;
+    }
+};
+
+/** Names of the litmus suite, in canonical order. */
+const std::vector<std::string> &litmusSuite();
+
+/** Build the named program; nullptr if @p name is unknown. */
+std::unique_ptr<LitmusWorkload> makeLitmus(const std::string &name);
+
+} // namespace explore
+} // namespace nosync
+
+#endif // EXPLORE_LITMUS_HH

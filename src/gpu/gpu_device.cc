@@ -11,7 +11,8 @@ GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
                      Workload &workload, std::uint64_t seed,
                      Cycles kernel_launch_latency,
                      trace::TraceSink *trace,
-                     analysis::RaceDetector *races)
+                     analysis::RaceDetector *races,
+                     TbScheduler *sched)
     : SimObject("gpu", eq), _l1s(std::move(cu_l1s)), _energy(energy),
       _workload(workload), _seed(seed),
       _launchLatency(kernel_launch_latency),
@@ -19,7 +20,7 @@ GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
                                             "kernels launched")),
       _tbsExecuted(stats.registerScalar("gpu.tbs_executed",
                                         "thread blocks executed")),
-      _trace(trace), _races(races)
+      _trace(trace), _races(races), _sched(sched)
 {
     panic_if(_l1s.empty(), "GPU device with no compute units");
 }
@@ -79,7 +80,7 @@ GpuDevice::startTbs()
             eventQueue(), *_l1s[cu], _energy, Rng(tb_seed), _kernel,
             tb, cu, tb_on_cu, num_cus,
             (info.numTbs + num_cus - 1) / num_cus, _trace, _races,
-            race_slot));
+            race_slot, _sched));
     }
 
     // Start after all contexts exist (coroutines may finish

@@ -35,7 +35,8 @@ class GpuDevice : public SimObject
               std::vector<L1Controller *> cu_l1s, Workload &workload,
               std::uint64_t seed, Cycles kernel_launch_latency = 300,
               trace::TraceSink *trace = nullptr,
-              analysis::RaceDetector *races = nullptr);
+              analysis::RaceDetector *races = nullptr,
+              TbScheduler *sched = nullptr);
 
     /** Run every kernel; @p on_complete fires after the last drain. */
     void run(DoneCallback on_complete);
@@ -73,6 +74,8 @@ class GpuDevice : public SimObject
     trace::TraceSink *_trace = nullptr;
     /** Race detector; nullptr when race checking is disabled. */
     analysis::RaceDetector *_races = nullptr;
+    /** Exploration scheduler; nullptr outside model checking. */
+    TbScheduler *_sched = nullptr;
 };
 
 } // namespace nosync

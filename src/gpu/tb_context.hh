@@ -23,6 +23,7 @@
 #include "gpu/sim_task.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/tb_scheduler.hh"
 #include "trace/trace_sink.hh"
 
 namespace nosync
@@ -37,11 +38,13 @@ class TbContext
               unsigned cu, unsigned tb_on_cu, unsigned num_cus,
               unsigned tbs_per_cu, trace::TraceSink *trace = nullptr,
               analysis::RaceDetector *races = nullptr,
-              unsigned race_slot = analysis::kNoRaceSlot)
+              unsigned race_slot = analysis::kNoRaceSlot,
+              TbScheduler *sched = nullptr)
         : _eq(eq), _l1(l1), _energy(energy), _rng(rng),
           _kernel(kernel), _tbGlobal(tb_global), _cu(cu),
           _tbOnCu(tb_on_cu), _numCus(num_cus), _tbsPerCu(tbs_per_cu),
-          _trace(trace), _races(races), _raceSlot(race_slot)
+          _trace(trace), _races(races), _raceSlot(race_slot),
+          _sched(sched)
     {}
 
     unsigned kernel() const { return _kernel; }
@@ -160,6 +163,50 @@ class TbContext
         return os.str();
     }
 
+    // Scheduling hook -------------------------------------------------
+
+    /**
+     * Route an operation's issue thunk through the attached scheduler
+     * (model checking), or run it inline when none is attached — the
+     * normal path, which stays branch-only so unscheduled runs are
+     * bitwise identical. The thunk performs the race/trace hooks and
+     * the L1 call, so under a scheduler those fire at the tick the
+     * operation actually issues.
+     */
+    template <typename Fn>
+    void
+    issueOp(Addr addr, TbOpKind kind, Fn &&fn)
+    {
+        if (_sched == nullptr) {
+            fn();
+            return;
+        }
+        TbOp op;
+        op.kernel = _kernel;
+        op.tbGlobal = _tbGlobal;
+        op.cu = _cu;
+        op.addr = addr;
+        op.kind = kind;
+        _sched->issue(op, std::function<void()>(std::forward<Fn>(fn)));
+    }
+
+    /** TbOpKind of a synchronization access (scheduler footprint). */
+    static TbOpKind
+    syncOpKind(const SyncOp &op)
+    {
+        switch (op.func) {
+          case AtomicFunc::Load:
+            return TbOpKind::AtomicLoad;
+          case AtomicFunc::Store:
+            return TbOpKind::AtomicStore;
+          case AtomicFunc::FetchAdd:
+          case AtomicFunc::Exchange:
+          case AtomicFunc::CompareSwap:
+            break;
+        }
+        return TbOpKind::AtomicRmw;
+    }
+
     /** Awaitable data load. */
     auto
     load(Addr addr)
@@ -177,13 +224,15 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait("load " + describeAddr(addr));
-                ctx->noteDataRead(addr);
-                txn = ctx->beginTxn(trace::TxnClass::Load, addr);
-                ctx->_l1.load(addr, [this, h](std::uint32_t v) {
-                    value = v;
-                    ctx->endTxn(txn);
-                    ctx->endWait();
-                    h.resume();
+                ctx->issueOp(addr, TbOpKind::Load, [this, h] {
+                    ctx->noteDataRead(addr);
+                    txn = ctx->beginTxn(trace::TxnClass::Load, addr);
+                    ctx->_l1.load(addr, [this, h](std::uint32_t v) {
+                        value = v;
+                        ctx->endTxn(txn);
+                        ctx->endWait();
+                        h.resume();
+                    });
                 });
             }
 
@@ -212,25 +261,30 @@ class TbContext
                 ctx->beginWait(
                     "loadMany of " + std::to_string(addrs.size()) +
                     " words at " + describeAddr(addrs.front()));
-                for (Addr addr : addrs)
-                    ctx->noteDataRead(addr);
-                // One transaction spans the whole coalesced batch:
-                // its latency is the slowest constituent load.
-                txn = ctx->beginTxn(trace::TxnClass::Load,
-                                    addrs.front());
-                values.assign(addrs.size(), 0);
-                remaining = static_cast<unsigned>(addrs.size());
-                for (std::size_t i = 0; i < addrs.size(); ++i) {
-                    ctx->_l1.load(addrs[i],
-                                  [this, i, h](std::uint32_t v) {
-                                      values[i] = v;
-                                      if (--remaining == 0) {
-                                          ctx->endTxn(txn);
-                                          ctx->endWait();
-                                          h.resume();
-                                      }
-                                  });
-                }
+                // The whole coalesced batch issues as one scheduled
+                // quantum: a warp's loads are not interleavable.
+                ctx->issueOp(addrs.front(), TbOpKind::Load, [this, h] {
+                    for (Addr addr : addrs)
+                        ctx->noteDataRead(addr);
+                    // One transaction spans the whole coalesced
+                    // batch: its latency is the slowest constituent
+                    // load.
+                    txn = ctx->beginTxn(trace::TxnClass::Load,
+                                        addrs.front());
+                    values.assign(addrs.size(), 0);
+                    remaining = static_cast<unsigned>(addrs.size());
+                    for (std::size_t i = 0; i < addrs.size(); ++i) {
+                        ctx->_l1.load(addrs[i],
+                                      [this, i, h](std::uint32_t v) {
+                                          values[i] = v;
+                                          if (--remaining == 0) {
+                                              ctx->endTxn(txn);
+                                              ctx->endWait();
+                                              h.resume();
+                                          }
+                                      });
+                    }
+                });
             }
 
             std::vector<std::uint32_t>
@@ -261,20 +315,23 @@ class TbContext
                 ctx->beginWait(
                     "storeMany of " + std::to_string(stores.size()) +
                     " words at " + describeAddr(stores.front().first));
-                for (const auto &st : stores)
-                    ctx->noteDataWrite(st.first);
-                txn = ctx->beginTxn(trace::TxnClass::Store,
-                                    stores.front().first);
-                remaining = static_cast<unsigned>(stores.size());
-                for (const auto &[addr, value] : stores) {
-                    ctx->_l1.store(addr, value, [this, h] {
-                        if (--remaining == 0) {
-                            ctx->endTxn(txn);
-                            ctx->endWait();
-                            h.resume();
-                        }
-                    });
-                }
+                ctx->issueOp(stores.front().first, TbOpKind::Store,
+                             [this, h] {
+                    for (const auto &st : stores)
+                        ctx->noteDataWrite(st.first);
+                    txn = ctx->beginTxn(trace::TxnClass::Store,
+                                        stores.front().first);
+                    remaining = static_cast<unsigned>(stores.size());
+                    for (const auto &[addr, value] : stores) {
+                        ctx->_l1.store(addr, value, [this, h] {
+                            if (--remaining == 0) {
+                                ctx->endTxn(txn);
+                                ctx->endWait();
+                                h.resume();
+                            }
+                        });
+                    }
+                });
             }
 
             void await_resume() {}
@@ -299,12 +356,14 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait("store " + describeAddr(addr));
-                ctx->noteDataWrite(addr);
-                txn = ctx->beginTxn(trace::TxnClass::Store, addr);
-                ctx->_l1.store(addr, value, [this, h] {
-                    ctx->endTxn(txn);
-                    ctx->endWait();
-                    h.resume();
+                ctx->issueOp(addr, TbOpKind::Store, [this, h] {
+                    ctx->noteDataWrite(addr);
+                    txn = ctx->beginTxn(trace::TxnClass::Store, addr);
+                    ctx->_l1.store(addr, value, [this, h] {
+                        ctx->endTxn(txn);
+                        ctx->endWait();
+                        h.resume();
+                    });
                 });
             }
 
@@ -333,20 +392,22 @@ class TbContext
             await_suspend(std::coroutine_handle<> h)
             {
                 ctx->beginWait(describeSync(op));
-                if (ctx->_trace) {
-                    txn = ctx->beginTxn(syncClass(op), op.addr);
-                    if (op.isAcquire())
-                        ctx->recordSync(trace::Phase::TbSyncAcquire,
-                                        op);
-                    if (op.isRelease())
-                        ctx->recordSync(trace::Phase::TbSyncRelease,
-                                        op);
-                }
-                ctx->_l1.sync(op, [this, h](std::uint32_t v) {
-                    value = v;
-                    ctx->endTxn(txn);
-                    ctx->endWait();
-                    h.resume();
+                ctx->issueOp(op.addr, syncOpKind(op), [this, h] {
+                    if (ctx->_trace) {
+                        txn = ctx->beginTxn(syncClass(op), op.addr);
+                        if (op.isAcquire())
+                            ctx->recordSync(
+                                trace::Phase::TbSyncAcquire, op);
+                        if (op.isRelease())
+                            ctx->recordSync(
+                                trace::Phase::TbSyncRelease, op);
+                    }
+                    ctx->_l1.sync(op, [this, h](std::uint32_t v) {
+                        value = v;
+                        ctx->endTxn(txn);
+                        ctx->endWait();
+                        h.resume();
+                    });
                 });
             }
 
@@ -502,6 +563,8 @@ class TbContext
     analysis::RaceDetector *_races = nullptr;
     /** This TB's clock slot in the detector. */
     unsigned _raceSlot = analysis::kNoRaceSlot;
+    /** Exploration scheduler; nullptr outside model checking. */
+    TbScheduler *_sched = nullptr;
 
     // Wait-state tracking for hang diagnostics.
     std::string _waitWhat;

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Message-delivery policy seam.
+ *
+ * The Mesh computes a nominal arrival tick for every message and then
+ * consults an optional DeliveryPolicy, which may move the arrival
+ * later (never earlier) and may request a duplicate delivery of
+ * idempotent messages. Two implementations exist:
+ *
+ *  - FaultInjector (noc/fault_injector.hh): seeded random
+ *    perturbation for chaos testing;
+ *  - explore::ExploringPolicy (explore/exploring_policy.hh): the
+ *    stateless model checker's replayable delivery-choice recorder,
+ *    which forces specific cross-pair reorderings from a decision
+ *    script.
+ *
+ * Every implementation must preserve same-pair FIFO: the protocols
+ * rely on per-(src, dst) in-order delivery (DESIGN.md "ordering
+ * invariants"), so an adjusted arrival must be clamped to the pair's
+ * latest already-scheduled arrival. Reordering is only legal *across*
+ * pairs — exactly the freedom a real adaptive/multi-VC network has.
+ */
+
+#ifndef NOC_DELIVERY_POLICY_HH
+#define NOC_DELIVERY_POLICY_HH
+
+#include "sim/types.hh"
+
+namespace nosync
+{
+
+/** Hook deciding when (and how often) a mesh message is delivered. */
+class DeliveryPolicy
+{
+  public:
+    virtual ~DeliveryPolicy() = default;
+
+    /**
+     * Map a message's nominal arrival tick to its actual arrival
+     * tick. Must return >= @p nominal and must preserve same-pair
+     * FIFO (clamp to the pair's latest scheduled arrival).
+     */
+    virtual Tick adjust(NodeId src, NodeId dst, Tick nominal) = 0;
+
+    /** Whether to deliver an idempotent message a second time. */
+    virtual bool rollDuplicate() = 0;
+
+    /** Extra delay of the duplicate delivery (must be >= 1). */
+    virtual Cycles duplicateDelay() = 0;
+};
+
+} // namespace nosync
+
+#endif // NOC_DELIVERY_POLICY_HH

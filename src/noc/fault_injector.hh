@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "noc/delivery_policy.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -60,7 +61,7 @@ struct FaultConfig
 };
 
 /** Deterministic, FIFO-preserving message perturbation. */
-class FaultInjector
+class FaultInjector : public DeliveryPolicy
 {
   public:
     explicit FaultInjector(const FaultConfig &config)
@@ -75,7 +76,7 @@ class FaultInjector
      * the pair's latest scheduled arrival so same-pair FIFO holds.
      */
     Tick
-    adjust(NodeId src, NodeId dst, Tick nominal)
+    adjust(NodeId src, NodeId dst, Tick nominal) override
     {
         Tick t = nominal;
         if (_rng.chance(_config.jitterProb) && _config.jitterMax > 0) {
@@ -96,7 +97,7 @@ class FaultInjector
 
     /** Whether to deliver an idempotent message a second time. */
     bool
-    rollDuplicate()
+    rollDuplicate() override
     {
         if (!_rng.chance(_config.dupProb))
             return false;
@@ -107,7 +108,7 @@ class FaultInjector
     /** Extra delay of the duplicate delivery (always >= 1, so the
      *  duplicate cannot be delivered before the original). */
     Cycles
-    duplicateDelay()
+    duplicateDelay() override
     {
         Cycles max = _config.dupDelayMax ? _config.dupDelayMax : 1;
         return static_cast<Cycles>(_rng.range(1, max));

@@ -177,14 +177,14 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
         }
     }
 
-    if (_faults != nullptr) {
-        t = _faults->adjust(src, dst, t);
-        if (idempotent && _faults->rollDuplicate()) {
+    if (_delivery != nullptr) {
+        t = _delivery->adjust(src, dst, t);
+        if (idempotent && _delivery->rollDuplicate()) {
             // Second delivery of the same closure, after the first
             // (adjust() clamps to the pair's latest arrival, so the
             // duplicate never overtakes the original).
-            Tick dup_t = _faults->adjust(
-                src, dst, t + _faults->duplicateDelay());
+            Tick dup_t = _delivery->adjust(
+                src, dst, t + _delivery->duplicateDelay());
             _messages->add(cls_idx);
             _flitCrossings->add(cls_idx,
                                 static_cast<double>(flits) *

@@ -12,8 +12,9 @@
  * Delivery is closure-based: the sender provides the action to run at
  * the destination when the message arrives, keeping the network
  * independent of protocol message formats. That seam also hosts the
- * optional FaultInjector (delivery perturbation for chaos testing)
- * and an in-flight message registry consumed by hang diagnostics.
+ * optional DeliveryPolicy (FaultInjector chaos perturbation or the
+ * model checker's ExploringPolicy) and an in-flight message registry
+ * consumed by hang diagnostics.
  */
 
 #ifndef NOC_MESH_HH
@@ -23,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "noc/delivery_policy.hh"
 #include "noc/fault_injector.hh"
 #include "noc/traffic.hh"
 #include "sim/event_queue.hh"
@@ -108,10 +110,20 @@ class Mesh : public SimObject
     /** Total flit crossings across all classes. */
     double totalFlitCrossings() const;
 
-    // Fault injection -------------------------------------------------
-    /** Attach (or detach, with nullptr) a fault injector. */
-    void setFaultInjector(FaultInjector *inj) { _faults = inj; }
-    FaultInjector *faultInjector() { return _faults; }
+    // Delivery policy -------------------------------------------------
+    /**
+     * Attach (or detach, with nullptr) a delivery policy: the
+     * chaos-testing FaultInjector or the model checker's
+     * ExploringPolicy. At most one policy is active per mesh.
+     */
+    void setDeliveryPolicy(DeliveryPolicy *policy)
+    {
+        _delivery = policy;
+    }
+    DeliveryPolicy *deliveryPolicy() { return _delivery; }
+
+    /** Convenience spelling for the chaos-testing policy. */
+    void setFaultInjector(FaultInjector *inj) { _delivery = inj; }
 
     // Diagnostics -----------------------------------------------------
     /** Messages injected but not yet delivered, in injection order. */
@@ -138,7 +150,7 @@ class Mesh : public SimObject
     MeshParams _params;
     /** Earliest tick each unidirectional link is free. */
     std::vector<Tick> _linkFree;
-    FaultInjector *_faults = nullptr;
+    DeliveryPolicy *_delivery = nullptr;
 
     /**
      * Precomputed XY routes: for each (src, dst) pair, the link

@@ -103,6 +103,13 @@ class EventQueue
     /** Whether any events remain. */
     bool empty() const { return _events.empty(); }
 
+    /** Tick of the earliest pending event; ~Tick{0} when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return _events.empty() ? ~Tick{0} : _events.top().when;
+    }
+
     /** Number of pending events. */
     std::size_t pending() const { return _events.size(); }
 

@@ -17,11 +17,15 @@ guarantees but vanilla JSON Schema cannot express here:
     every suppressed race carries a non-empty suppress_reason;
   * races are sorted by (second.tick, addr) — the deterministic order
     that makes --race-check --jobs=N reports identical to serial;
+  * truncated is true exactly when records_dropped > 0;
   * addr parses as hexadecimal ("0x...").
 
 With --require-clean, additionally fails any report whose unsuppressed
 race count (races_detected - races_suppressed) is non-zero — the mode
-CI runs against the paper workloads, which must all be race-free.
+CI runs against the paper workloads, which must all be race-free —
+and any truncated report: dropped records were never classified, so a
+truncated report cannot prove cleanliness (re-run with a higher
+--race-cap=N instead).
 
 Exits 0 if every file validates, 1 otherwise.
 """
@@ -50,6 +54,13 @@ def check_race_rules(report, errors):
             errors.append(
                 f"$.summary: races_detected {detected} != "
                 f"{len(races)} records + {dropped} dropped")
+
+    truncated = summary.get("truncated")
+    if isinstance(dropped, int) and isinstance(truncated, bool):
+        if truncated != (dropped > 0):
+            errors.append(
+                f"$.summary: truncated={truncated} inconsistent with "
+                f"records_dropped={dropped}")
 
     suppressed = sum(1 for r in races
                      if isinstance(r, dict) and r.get("suppressed"))
@@ -103,6 +114,12 @@ def validate_file(path, schema, require_clean):
         errors.append(
             f"$.summary: {detected - suppressed} unsuppressed race(s)"
             f" but --require-clean was given")
+    if require_clean and summary.get("truncated"):
+        # A truncated report cannot prove cleanliness: the dropped
+        # records were never classified or suppressed.
+        errors.append(
+            "$.summary: report truncated (records dropped past the "
+            "cap) but --require-clean was given")
 
     if errors:
         print(f"FAIL {path}:")
