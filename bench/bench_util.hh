@@ -68,6 +68,13 @@ struct Options
      * without the detector.
      */
     std::size_t raceCap = 0;
+    /**
+     * In-run parallel simulation (SystemConfig::simThreads): 0 keeps
+     * the serial single-queue path; N >= 1 runs every cell on the
+     * PDES engine with N threads. Engine output is bitwise identical
+     * for every N, so any value is safe for figure regeneration.
+     */
+    unsigned simThreads = 0;
 
     /**
      * Harness-specific option hook: return true if @p arg was
@@ -129,6 +136,21 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
                 std::exit(2);
             }
             opts.maxCycles = static_cast<Tick>(cycles);
+        } else if (std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
+            // Strict parse: a garbled thread count must not silently
+            // fall back to the serial path and report engine numbers.
+            const char *value = argv[i] + 14;
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long threads = std::strtoull(value, &end, 10);
+            if (*value == '\0' || end == nullptr || *end != '\0' ||
+                errno == ERANGE || threads == 0 || threads > 1024) {
+                std::cerr << "error: --sim-threads expects a thread "
+                             "count in [1, 1024], got '"
+                          << value << "'\n";
+                std::exit(2);
+            }
+            opts.simThreads = static_cast<unsigned>(threads);
         } else if (std::strncmp(argv[i], "--race-cap=", 11) == 0) {
             // Strict parse: a garbled cap must not silently truncate
             // at the default and pass a gate it should have failed.
@@ -151,7 +173,8 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
                       << " [--scale=N] [--jobs=N] [--json=PATH]"
                          " [--trace=PATH] [--race-check]"
                          " [--race-json=PATH] [--race-cap=N]"
-                         " [--max-cycles=N] [--no-breakdowns]"
+                         " [--max-cycles=N] [--sim-threads=N]"
+                         " [--no-breakdowns]"
                       << extra_usage << "\n";
             std::exit(2);
         }
@@ -210,6 +233,7 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
     config.traceEnabled = !opts.tracePath.empty();
     config.raceCheckEnabled = opts.raceCheck;
     config.raceRecordCap = opts.raceCap;
+    config.simThreads = opts.simThreads;
     if (opts.maxCycles != 0)
         config.maxCycles = opts.maxCycles;
     if (tweak)

@@ -1,9 +1,11 @@
 /**
  * @file
  * Weak-scaling sweep: the five studied configurations on growing
- * meshes — 4x4 (15 CUs + CPU), 6x6 (35 CUs + CPU), and 8x8 (63 CUs +
- * CPU), with one L2 bank per mesh node so the registry scales with
- * the machine.
+ * meshes — 4x4 (15 CUs + CPU), 6x6 (35 CUs + CPU), 8x8 (63 CUs +
+ * CPU), and 12x12 (143 CUs + CPU) — with one L2 bank per mesh node
+ * so the registry scales with the machine. The 12x12 tier crosses
+ * the old int8_t owner-id limit of 127 nodes; CacheLine now packs
+ * owners as int16_t precisely so this sweep can keep growing.
  *
  * The paper's question at scale: do the scoped (H*) configurations'
  * advantages grow with the machine, or does DeNovo's word-granularity
@@ -37,6 +39,7 @@ constexpr ScalePoint kScales[] = {
     {4, "4x4"},
     {6, "6x6"},
     {8, "8x8"},
+    {12, "12x12"},
 };
 
 /** Per-scale JSON filename: stem.<label>.json. */

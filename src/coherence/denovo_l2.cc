@@ -175,7 +175,7 @@ DenovoL2Bank::finishFetch(Addr line_addr)
     _array.install(*victim, line_addr);
     victim->data = _memory.readLine(line_addr);
     victim->wstate.fill(WordState::Valid);
-    victim->owner.fill(static_cast<std::int8_t>(kNoNode));
+    victim->owner.fill(static_cast<std::int16_t>(kNoNode));
 
     auto waiters = std::move(entry->waiters);
     _fetches.deallocate(line_addr);
@@ -228,7 +228,7 @@ DenovoL2Bank::handleRecallData(Addr line_addr, WordMask mask,
             continue;
         line->data[w] = data[w];
         line->wstate[w] = WordState::Valid;
-        line->owner[w] = static_cast<std::int8_t>(kNoNode);
+        line->owner[w] = static_cast<std::int16_t>(kNoNode);
         line->dirty |= static_cast<WordMask>(1u << w);
     }
 
@@ -365,13 +365,13 @@ DenovoL2Bank::handleRegReq(Addr line_addr, WordMask mask, bool is_sync,
                     any_fwd = true;
                     moved |= bit;
                     line.owner[w] =
-                        static_cast<std::int8_t>(requestor);
+                        static_cast<std::int16_t>(requestor);
                 }
             } else {
                 direct |= bit;
                 moved |= bit;
                 line.wstate[w] = WordState::Registered;
-                line.owner[w] = static_cast<std::int8_t>(requestor);
+                line.owner[w] = static_cast<std::int16_t>(requestor);
             }
         }
 
@@ -437,7 +437,7 @@ DenovoL2Bank::handleWriteBack(Addr line_addr, WordMask mask,
                 line.owner[w] == requestor) {
                 line.data[w] = data[w];
                 line.wstate[w] = WordState::Valid;
-                line.owner[w] = static_cast<std::int8_t>(kNoNode);
+                line.owner[w] = static_cast<std::int16_t>(kNoNode);
                 line.dirty |= bit;
                 accepted |= bit;
                 ++_writebacks;
@@ -562,7 +562,7 @@ DenovoL2Bank::debugSetOwner(Addr addr, NodeId owner)
     }
     unsigned w = wordInLine(addr);
     line->wstate[w] = WordState::Registered;
-    line->owner[w] = static_cast<std::int8_t>(owner);
+    line->owner[w] = static_cast<std::int16_t>(owner);
 }
 
 } // namespace nosync

@@ -21,6 +21,15 @@ System::System(const SystemConfig &config) : _config(config)
         if (_config.raceRecordCap != 0)
             _races->setRecordCap(_config.raceRecordCap);
     }
+    // CacheLine packs the per-word owner as int16_t, so NodeId must
+    // fit in [-1, 32766]; reject larger meshes before building any
+    // per-node structures instead of silently truncating owner ids
+    // in the registry.
+    unsigned num_nodes = _config.mesh.width * _config.mesh.height;
+    fatal_if(num_nodes > 32766,
+             "mesh has ", num_nodes,
+             " nodes but CacheLine owner ids are int16_t (max 32766)");
+
     _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
     _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh,
                                    _trace.get());
@@ -29,15 +38,32 @@ System::System(const SystemConfig &config) : _config(config)
         _mesh->setFaultInjector(_faults.get());
     }
 
-    unsigned num_nodes = _mesh->numNodes();
     fatal_if(_config.numCus >= num_nodes,
              "need at least one non-CU node for the CPU core");
-    // CacheLine packs the per-word owner as int8_t, so NodeId must
-    // fit in [-1, 127]; reject larger meshes at construction instead
-    // of silently truncating owner ids in the registry.
-    fatal_if(num_nodes > 127,
-             "mesh has ", num_nodes,
-             " nodes but CacheLine owner ids are int8_t (max 127)");
+
+    // Interleave the functional image by line number — the same
+    // mapping the L2 banks use — so each bank's misses touch a
+    // private map. Pure layout; contents are unchanged.
+    _memory.setInterleave(num_nodes);
+
+    if (_config.simThreads >= 1) {
+        // Lookahead: the earliest a cross-node message can arrive is
+        // sendTick + hopLatency + flits with flits >= 1, and a
+        // delivery policy may only move arrivals later — so a window
+        // of hopLatency + 1 cycles never needs intra-window
+        // cross-domain delivery.
+        _engine = std::make_unique<PdesEngine>(
+            num_nodes, _config.simThreads,
+            _config.mesh.hopLatency + 1, _eq);
+        _mesh->setEngine(_engine.get());
+        if (_faults)
+            _faults->enableLanes(num_nodes);
+        if (_trace)
+            _trace->enableDomainStaging(num_nodes);
+        if (_races)
+            _races->enableDomainStaging(num_nodes);
+        _energy->enableDomainLanes(num_nodes);
+    }
 
     bool denovo =
         _config.protocol.protocol == CoherenceProtocol::Denovo;
@@ -47,13 +73,13 @@ System::System(const SystemConfig &config) : _config(config)
         std::string name = "l2b" + std::to_string(node);
         if (denovo) {
             _denovoBanks.push_back(std::make_unique<DenovoL2Bank>(
-                name, _eq, _stats, *_energy, *_mesh,
+                name, eqFor(node), _stats, *_energy, *_mesh,
                 static_cast<NodeId>(node), _memory, _config.geometry,
                 _config.timings, _trace.get()));
             _l2Banks.push_back(_denovoBanks.back().get());
         } else {
             _gpuBanks.push_back(std::make_unique<GpuL2Bank>(
-                name, _eq, _stats, *_energy, *_mesh,
+                name, eqFor(node), _stats, *_energy, *_mesh,
                 static_cast<NodeId>(node), _memory, _config.geometry,
                 _config.timings, _trace.get()));
             _l2Banks.push_back(_gpuBanks.back().get());
@@ -68,7 +94,7 @@ System::System(const SystemConfig &config) : _config(config)
             for (auto &bank : _denovoBanks)
                 banks.push_back(bank.get());
             _denovoL1s.push_back(std::make_unique<DenovoL1Cache>(
-                name, _eq, _stats, *_energy, *_mesh,
+                name, eqFor(cu), _stats, *_energy, *_mesh,
                 static_cast<NodeId>(cu), _config.protocol,
                 std::move(banks), _regions, _config.geometry,
                 _config.timings, _trace.get()));
@@ -78,7 +104,7 @@ System::System(const SystemConfig &config) : _config(config)
             for (auto &bank : _gpuBanks)
                 banks.push_back(bank.get());
             _gpuL1s.push_back(std::make_unique<GpuL1Cache>(
-                name, _eq, _stats, *_energy, *_mesh,
+                name, eqFor(cu), _stats, *_energy, *_mesh,
                 static_cast<NodeId>(cu), _config.protocol,
                 std::move(banks), _config.geometry, _config.timings,
                 _trace.get()));
@@ -152,6 +178,14 @@ System::declareReadOnly(Addr base, Addr bytes)
 void
 System::collectMetrics(RunResult &result)
 {
+    if (_engine) {
+        // Fold the per-domain engine lanes into the stats Vectors (in
+        // node order, so the folded totals are packing-independent)
+        // before anything below reads them.
+        _mesh->foldEngineStats();
+        _energy->foldLanes();
+    }
+
     // Network energy accrues from the final flit counts.
     _energy->flitCrossings(_mesh->totalFlitCrossings());
 
@@ -189,12 +223,23 @@ System::run(Workload &workload)
 
     auto host_start = std::chrono::steady_clock::now();
     auto stamp_host = [&](RunResult &r) {
-        r.host.eventsExecuted = _eq.executed();
+        r.host.eventsExecuted =
+            _eq.executed() +
+            (_engine ? _engine->executed() : std::uint64_t{0});
         r.host.millis = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() -
                             host_start)
                             .count();
     };
+
+    fatal_if(_engine && _tbScheduler,
+             "--sim-threads is incompatible with exploration "
+             "scheduling (model checking is inherently serial)");
+    fatal_if(_engine &&
+                 _mesh->deliveryPolicy() != nullptr &&
+                 _mesh->deliveryPolicy() != _faults.get(),
+             "--sim-threads supports only the config's own fault "
+             "injector as delivery policy");
 
     workload.init(*this);
     if (_races)
@@ -202,7 +247,8 @@ System::run(Workload &workload)
 
     GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
                      _config.seed, _config.kernelLaunchLatency,
-                     _trace.get(), _races.get(), _tbScheduler);
+                     _trace.get(), _races.get(), _tbScheduler,
+                     _engine.get());
 
     bool done = false;
     Tick done_tick = 0;
@@ -219,21 +265,51 @@ System::run(Workload &workload)
         _config.checkPeriod ? _config.checkPeriod : 0;
     std::vector<std::string> sweep_violations;
 
-    while (!done && !_eq.empty() && _eq.now() < _config.maxCycles) {
-        _eq.step();
-        if (next_sweep && _eq.now() >= next_sweep) {
-            sweep_violations = checker.sweepRacy();
-            if (!sweep_violations.empty())
-                break; // fail loudly, with state intact
-            next_sweep = _eq.now() + _config.checkPeriod;
+    if (_engine) {
+        // Engine mode: the window loop replaces the step loop. The
+        // run quiesces naturally — windows keep closing until every
+        // shard and the coordinator drain (bounded by maxCycles), so
+        // in-flight protocol traffic lands before inspection, exactly
+        // like the serial quiesce below. Invariant sweeps move to
+        // window barriers, where all shards sit at the window end.
+        PdesEngine::Hooks hooks;
+        hooks.preBarrier = [this](Tick) {
+            if (_races)
+                _races->drainStaged();
+            if (_trace)
+                _trace->drainStaged();
+        };
+        hooks.drainSends =
+            [this](std::vector<PdesEngine::MeshSend> &sends,
+                   Tick end) { _mesh->drainEngineSends(sends, end); };
+        hooks.atBarrier = [&](Tick end) {
+            if (!done && next_sweep && end >= next_sweep) {
+                sweep_violations = checker.sweepRacy();
+                if (!sweep_violations.empty())
+                    return true; // fail loudly, with state intact
+                next_sweep = end + _config.checkPeriod;
+            }
+            return false;
+        };
+        _engine->run(_config.maxCycles, hooks);
+    } else {
+        while (!done && !_eq.empty() &&
+               _eq.now() < _config.maxCycles) {
+            _eq.step();
+            if (next_sweep && _eq.now() >= next_sweep) {
+                sweep_violations = checker.sweepRacy();
+                if (!sweep_violations.empty())
+                    break; // fail loudly, with state intact
+                next_sweep = _eq.now() + _config.checkPeriod;
+            }
         }
-    }
 
-    if (done) {
-        // Quiesce: in-flight protocol traffic (e.g. eviction
-        // writebacks racing the final drain) must land before the
-        // hierarchy is inspected for results.
-        _eq.run(_config.maxCycles);
+        if (done) {
+            // Quiesce: in-flight protocol traffic (e.g. eviction
+            // writebacks racing the final drain) must land before the
+            // hierarchy is inspected for results.
+            _eq.run(_config.maxCycles);
+        }
     }
 
     RunResult result;

@@ -42,6 +42,19 @@ struct SystemConfig
     /** Watchdog: abort runs exceeding this many cycles. */
     Tick maxCycles = 2'000'000'000ull;
 
+    /**
+     * Parallel in-run simulation (--sim-threads=N): 0 (the default)
+     * keeps today's single-queue serial path, byte-for-byte. N >= 1
+     * switches the run onto the PDES engine — the mesh is partitioned
+     * into one domain per node, each advancing its own event-queue
+     * shard within conservative time windows of hopLatency + 1
+     * cycles. Engine output is bitwise identical for every N
+     * (including 1, which runs the same windowed schedule inline
+     * without spawning threads): the merged event order depends only
+     * on the fixed per-node partition, never on thread packing.
+     */
+    unsigned simThreads = 0;
+
     /** Message-delivery fault injection (chaos testing). */
     FaultConfig faults{};
 

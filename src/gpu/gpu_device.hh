@@ -20,6 +20,7 @@
 #include "energy/energy_model.hh"
 #include "gpu/tb_context.hh"
 #include "gpu/workload.hh"
+#include "sim/pdes.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -36,7 +37,8 @@ class GpuDevice : public SimObject
               std::uint64_t seed, Cycles kernel_launch_latency = 300,
               trace::TraceSink *trace = nullptr,
               analysis::RaceDetector *races = nullptr,
-              TbScheduler *sched = nullptr);
+              TbScheduler *sched = nullptr,
+              PdesEngine *engine = nullptr);
 
     /** Run every kernel; @p on_complete fires after the last drain. */
     void run(DoneCallback on_complete);
@@ -52,6 +54,7 @@ class GpuDevice : public SimObject
     void launchKernel();
     void startTbs();
     void onTbDone(unsigned cu);
+    void onDrainAck();
     void onKernelDrained();
 
     std::vector<L1Controller *> _l1s;
@@ -76,6 +79,14 @@ class GpuDevice : public SimObject
     analysis::RaceDetector *_races = nullptr;
     /** Exploration scheduler; nullptr outside model checking. */
     TbScheduler *_sched = nullptr;
+    /**
+     * PDES engine; nullptr in serial runs. With an engine, each TB's
+     * coroutine runs on its CU's shard, and per-TB/per-CU completion
+     * callbacks — which mutate device-wide counters and fan out to
+     * every L1 — are deferred to the engine's window barriers as
+     * coordinator notifications instead of running inside a domain.
+     */
+    PdesEngine *_engine = nullptr;
 };
 
 } // namespace nosync

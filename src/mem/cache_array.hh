@@ -50,7 +50,7 @@ struct CacheLine
     std::array<WordState, kWordsPerLine> wstate{};
 
     /** Per-word owner node (DeNovo L2 registry only). */
-    std::array<std::int8_t, kWordsPerLine> owner{};
+    std::array<std::int16_t, kWordsPerLine> owner{};
 
     /** Words written locally and not yet made globally visible. */
     WordMask dirty = 0;
@@ -93,7 +93,7 @@ struct CacheLine
         epoch = 0;
         data = LineData{};
         wstate.fill(WordState::Invalid);
-        owner.fill(static_cast<std::int8_t>(kNoNode));
+        owner.fill(static_cast<std::int16_t>(kNoNode));
     }
 };
 

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -22,16 +23,37 @@ namespace nosync
 /** Contents of one cache line. */
 using LineData = std::array<std::uint32_t, kWordsPerLine>;
 
-/** Sparse word-addressable memory image; unwritten words read as 0. */
+/**
+ * Sparse word-addressable memory image; unwritten words read as 0.
+ *
+ * The image can be interleaved into independent shards keyed by line
+ * number — the same `line % shards` mapping the L2 banks use — so
+ * that under the PDES engine each bank (and therefore each domain)
+ * touches a private map with no cross-thread sharing. Interleaving is
+ * pure internal layout: contents and behaviour are unchanged.
+ */
 class FunctionalMem
 {
   public:
+    FunctionalMem() : _shards(1) {}
+
+    /**
+     * Re-shard the image by line number. Must be called before any
+     * contents exist (System does so at construction).
+     */
+    void
+    setInterleave(std::size_t shards)
+    {
+        _shards = std::vector<ShardMap>(shards ? shards : 1);
+    }
+
     /** Read one word. */
     std::uint32_t
     readWord(Addr addr) const
     {
-        auto it = _lines.find(lineAlign(addr));
-        if (it == _lines.end())
+        const ShardMap &lines = shardFor(addr);
+        auto it = lines.find(lineAlign(addr));
+        if (it == lines.end())
             return 0;
         return it->second[wordInLine(addr)];
     }
@@ -40,15 +62,16 @@ class FunctionalMem
     void
     writeWord(Addr addr, std::uint32_t value)
     {
-        _lines[lineAlign(addr)][wordInLine(addr)] = value;
+        shardFor(addr)[lineAlign(addr)][wordInLine(addr)] = value;
     }
 
     /** Read a whole line (zero-filled if untouched). */
     LineData
     readLine(Addr line_addr) const
     {
-        auto it = _lines.find(lineAlign(line_addr));
-        if (it == _lines.end())
+        const ShardMap &lines = shardFor(line_addr);
+        auto it = lines.find(lineAlign(line_addr));
+        if (it == lines.end())
             return LineData{};
         return it->second;
     }
@@ -57,7 +80,7 @@ class FunctionalMem
     void
     writeLineMasked(Addr line_addr, const LineData &data, WordMask mask)
     {
-        LineData &line = _lines[lineAlign(line_addr)];
+        LineData &line = shardFor(line_addr)[lineAlign(line_addr)];
         for (unsigned w = 0; w < kWordsPerLine; ++w) {
             if (mask & (1u << w))
                 line[w] = data[w];
@@ -65,10 +88,33 @@ class FunctionalMem
     }
 
     /** Number of lines ever touched. */
-    std::size_t footprintLines() const { return _lines.size(); }
+    std::size_t
+    footprintLines() const
+    {
+        std::size_t lines = 0;
+        for (const ShardMap &shard : _shards)
+            lines += shard.size();
+        return lines;
+    }
 
   private:
-    std::unordered_map<Addr, LineData> _lines;
+    using ShardMap = std::unordered_map<Addr, LineData>;
+
+    ShardMap &
+    shardFor(Addr addr)
+    {
+        return _shards[(lineAlign(addr) / kLineBytes) %
+                       _shards.size()];
+    }
+
+    const ShardMap &
+    shardFor(Addr addr) const
+    {
+        return _shards[(lineAlign(addr) / kLineBytes) %
+                       _shards.size()];
+    }
+
+    std::vector<ShardMap> _shards;
 };
 
 } // namespace nosync

@@ -1,0 +1,256 @@
+#include "pdes.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace nosync
+{
+
+namespace
+{
+
+/** Domain whose shard this thread is executing; -1 = serial. */
+thread_local int tls_current_domain = -1;
+
+} // namespace
+
+int
+PdesEngine::currentDomain()
+{
+    return tls_current_domain;
+}
+
+PdesEngine::DomainScope::DomainScope(int domain)
+    : _prev(tls_current_domain)
+{
+    tls_current_domain = domain;
+}
+
+PdesEngine::DomainScope::~DomainScope()
+{
+    tls_current_domain = _prev;
+}
+
+PdesEngine::PdesEngine(unsigned num_domains, unsigned threads,
+                       Cycles lookahead, EventQueue &coordinator)
+    : _coordinator(coordinator), _window(lookahead),
+      _numThreads(std::max(1u, std::min(threads, num_domains)))
+{
+    panic_if(num_domains == 0, "PDES engine needs at least one domain");
+    panic_if(lookahead == 0, "PDES lookahead must be positive");
+
+    _shards.reserve(num_domains);
+    for (unsigned d = 0; d < num_domains; ++d)
+        _shards.push_back(std::make_unique<EventQueue>());
+    _lanes = std::vector<DomainLane>(num_domains + 1);
+
+    // Contiguous block partition of domains onto workers: domain d
+    // belongs to worker d * N / K, so neighbouring mesh nodes share a
+    // worker and the block boundaries are identical for every run at
+    // the same (K, N).
+    _workerLo.resize(_numThreads);
+    _workerHi.resize(_numThreads);
+    for (unsigned w = 0; w < _numThreads; ++w) {
+        _workerLo[w] = static_cast<unsigned>(
+            static_cast<std::uint64_t>(w) * num_domains / _numThreads);
+        _workerHi[w] = static_cast<unsigned>(
+            static_cast<std::uint64_t>(w + 1) * num_domains /
+            _numThreads);
+    }
+
+    if (_numThreads > 1) {
+        _workers.reserve(_numThreads - 1);
+        for (unsigned w = 1; w < _numThreads; ++w)
+            _workers.emplace_back([this, w] { workerLoop(w); });
+    }
+}
+
+PdesEngine::~PdesEngine()
+{
+    if (!_workers.empty()) {
+        _stop.store(true, std::memory_order_release);
+        _epoch.fetch_add(1, std::memory_order_release);
+        _epoch.notify_all();
+        for (std::thread &t : _workers)
+            t.join();
+    }
+}
+
+void
+PdesEngine::pushSend(MeshSend send)
+{
+    const int d = tls_current_domain;
+    panic_if(d < 0 || static_cast<unsigned>(d) >= numDomains(),
+             "pushSend outside a domain context");
+    _lanes[static_cast<unsigned>(d)].sends.push_back(std::move(send));
+}
+
+void
+PdesEngine::postNotification(NotifyFn fn)
+{
+    const int d = tls_current_domain;
+    const unsigned lane =
+        d >= 0 ? static_cast<unsigned>(d) : numDomains();
+    const Tick tick =
+        d >= 0 ? _shards[static_cast<unsigned>(d)]->now()
+               : _coordinator.now();
+    _lanes[lane].notes.push_back(
+        DomainLane::Note{tick, std::move(fn)});
+}
+
+void
+PdesEngine::runShard(unsigned d, Tick window_end)
+{
+    DomainScope scope(static_cast<int>(d));
+    EventQueue &eq = *_shards[d];
+    eq.runUntil(window_end);
+    eq.advanceTo(window_end);
+}
+
+void
+PdesEngine::workerLoop(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        _epoch.wait(seen, std::memory_order_acquire);
+        seen = _epoch.load(std::memory_order_acquire);
+        if (_stop.load(std::memory_order_acquire))
+            return;
+        const Tick end = _windowEnd;
+        for (unsigned d = _workerLo[worker]; d < _workerHi[worker];
+             ++d)
+            runShard(d, end);
+        _arrived.fetch_add(1, std::memory_order_acq_rel);
+        _arrived.notify_one();
+    }
+}
+
+void
+PdesEngine::runParallelPhase(Tick window_end)
+{
+    if (_numThreads == 1) {
+        for (unsigned d = 0; d < numDomains(); ++d)
+            runShard(d, window_end);
+        return;
+    }
+    // Release the window to the workers, run this thread's own block,
+    // then park until the rest arrive. Workers see _windowEnd via the
+    // release fetch_add / acquire wait pair.
+    _windowEnd = window_end;
+    _arrived.store(0, std::memory_order_relaxed);
+    _epoch.fetch_add(1, std::memory_order_release);
+    _epoch.notify_all();
+    for (unsigned d = _workerLo[0]; d < _workerHi[0]; ++d)
+        runShard(d, window_end);
+    const unsigned others = _numThreads - 1;
+    for (;;) {
+        const unsigned got = _arrived.load(std::memory_order_acquire);
+        if (got == others)
+            break;
+        _arrived.wait(got, std::memory_order_acquire);
+    }
+}
+
+std::vector<PdesEngine::MeshSend> &
+PdesEngine::collectSends()
+{
+    _sendBuf.clear();
+    for (unsigned d = 0; d < numDomains(); ++d) {
+        DomainLane &lane = _lanes[d];
+        for (MeshSend &s : lane.sends)
+            _sendBuf.push_back(std::move(s));
+        lane.sends.clear();
+    }
+    // Domain-major concatenation already orders ties by (source node,
+    // deposit sequence); the stable sort lifts earlier-tick sends
+    // from later domains without disturbing that order.
+    std::stable_sort(_sendBuf.begin(), _sendBuf.end(),
+                     [](const MeshSend &a, const MeshSend &b) {
+                         return a.sent < b.sent;
+                     });
+    return _sendBuf;
+}
+
+void
+PdesEngine::drainNotifications(Tick window_end)
+{
+    // Notifications may themselves post notifications (a TB completion
+    // chained into a kernel-drain callback), which land in the serial
+    // lane; loop until no lane holds work.
+    for (;;) {
+        _noteBuf.clear();
+        for (unsigned lane = 0; lane <= numDomains(); ++lane) {
+            DomainLane &l = _lanes[lane];
+            for (DomainLane::Note &n : l.notes)
+                _noteBuf.push_back(std::move(n));
+            l.notes.clear();
+        }
+        if (_noteBuf.empty())
+            return;
+        std::stable_sort(_noteBuf.begin(), _noteBuf.end(),
+                         [](const DomainLane::Note &a,
+                            const DomainLane::Note &b) {
+                             return a.tick < b.tick;
+                         });
+        _coordinator.advanceTo(window_end);
+        for (DomainLane::Note &n : _noteBuf)
+            n.fn();
+    }
+}
+
+Tick
+PdesEngine::run(Tick max_cycles, const Hooks &hooks)
+{
+    Tick reached = _coordinator.now();
+    for (;;) {
+        const Tick next = minNextTick();
+        if (next == ~Tick{0})
+            return reached;
+        if (next >= max_cycles)
+            return std::max(reached, max_cycles);
+
+        const Tick end = next + _window;
+        runParallelPhase(end);
+
+        if (hooks.preBarrier)
+            hooks.preBarrier(end);
+
+        _coordinator.runUntil(end);
+        _coordinator.advanceTo(end);
+
+        std::vector<MeshSend> &sends = collectSends();
+        if (!sends.empty()) {
+            panic_if(!hooks.drainSends,
+                     "cross-domain sends with no drain hook");
+            hooks.drainSends(sends, end);
+            sends.clear();
+        }
+
+        drainNotifications(end);
+
+        reached = end;
+        if (hooks.atBarrier && hooks.atBarrier(end))
+            return reached;
+    }
+}
+
+std::uint64_t
+PdesEngine::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &eq : _shards)
+        total += eq->executed();
+    return total;
+}
+
+Tick
+PdesEngine::minNextTick() const
+{
+    Tick next = _coordinator.nextEventTick();
+    for (const auto &eq : _shards)
+        next = std::min(next, eq->nextEventTick());
+    return next;
+}
+
+} // namespace nosync

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * PDES engine tests: the conservative-time-window parallel engine
+ * (SystemConfig::simThreads >= 1) must produce bitwise-identical
+ * simulated output at every thread count — metrics, trace JSON, race
+ * reports — including under fault injection, because the merged
+ * event order depends only on the fixed per-node domain partition,
+ * never on thread packing. Plus direct engine unit tests and the
+ * strict --sim-threads flag parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/system.hh"
+#include "sim/pdes.hh"
+#include "test_util.hh"
+#include "workloads/registry.hh"
+
+using namespace nosync;
+using namespace nosync::test;
+
+namespace
+{
+
+SystemConfig
+engineConfig(const ProtocolConfig &proto, unsigned threads)
+{
+    SystemConfig config;
+    config.protocol = proto;
+    config.simThreads = threads;
+    return config;
+}
+
+RunResult
+runEngine(const std::string &name, const ProtocolConfig &proto,
+          unsigned threads,
+          const std::function<void(SystemConfig &)> &tweak = {})
+{
+    auto workload = makeScaled(name, 10);
+    SystemConfig config = engineConfig(proto, threads);
+    if (tweak)
+        tweak(config);
+    System system(config);
+    return system.run(*workload);
+}
+
+/** Every simulated field that the figures and reports derive from. */
+void
+expectSimIdentical(const RunResult &a, const RunResult &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.energyTotal, b.energyTotal) << what;
+    EXPECT_EQ(a.trafficTotal, b.trafficTotal) << what;
+    EXPECT_EQ(a.energy, b.energy) << what;
+    EXPECT_EQ(a.traffic, b.traffic) << what;
+    EXPECT_EQ(a.checkFailures, b.checkFailures) << what;
+    EXPECT_EQ(a.hang.has_value(), b.hang.has_value()) << what;
+    EXPECT_EQ(a.races.racesDetected, b.races.racesDetected) << what;
+    ASSERT_EQ(a.syncLatency.size(), b.syncLatency.size()) << what;
+    for (std::size_t i = 0; i < a.syncLatency.size(); ++i) {
+        EXPECT_EQ(a.syncLatency[i].cls, b.syncLatency[i].cls) << what;
+        EXPECT_EQ(a.syncLatency[i].count, b.syncLatency[i].count)
+            << what;
+        EXPECT_EQ(a.syncLatency[i].p50, b.syncLatency[i].p50) << what;
+        EXPECT_EQ(a.syncLatency[i].p95, b.syncLatency[i].p95) << what;
+        EXPECT_EQ(a.syncLatency[i].max, b.syncLatency[i].max) << what;
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class PdesConfigs : public ::testing::TestWithParam<ProtocolConfig>
+{
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Direct engine unit tests.
+// ---------------------------------------------------------------------
+
+TEST(PdesEngine, ShardEventsAllExecuteAndClocksAdvance)
+{
+    EventQueue coordinator;
+    PdesEngine engine(4, 2, 8, coordinator);
+    EXPECT_EQ(engine.numDomains(), 4u);
+    EXPECT_EQ(engine.window(), 8u);
+
+    // Each shard runs a self-rescheduling chain; chains never cross
+    // domains, so any window schedule must execute all of them.
+    std::array<unsigned, 4> fired{};
+    for (unsigned d = 0; d < 4; ++d) {
+        EventQueue &shard = engine.shard(d);
+        shard.schedule(3 + d, [&engine, &fired, d] {
+            ++fired[d];
+            engine.shard(d).schedule(engine.shard(d).now() + 20,
+                                     [&fired, d] { ++fired[d]; });
+        });
+    }
+
+    PdesEngine::Hooks hooks;
+    Tick reached = engine.run(1'000, hooks);
+    EXPECT_GE(reached, 24u); // last chain tail: 3 + 3 + 20
+    for (unsigned d = 0; d < 4; ++d) {
+        EXPECT_EQ(fired[d], 2u) << "domain " << d;
+        EXPECT_GE(engine.shard(d).now(), 23u + d);
+    }
+    EXPECT_EQ(engine.executed(), 8u);
+}
+
+TEST(PdesEngine, NotificationsRunInCoordinatorContextAtBarriers)
+{
+    EventQueue coordinator;
+    PdesEngine engine(2, 2, 4, coordinator);
+
+    // A domain event posts a notification; it must replay outside any
+    // domain (currentDomain() == -1) with the coordinator at or past
+    // the posting tick.
+    int domain_at_post = -2;
+    int domain_at_run = -2;
+    Tick note_tick = 0;
+    engine.shard(1).schedule(6, [&] {
+        domain_at_post = PdesEngine::currentDomain();
+        engine.postNotification([&] {
+            domain_at_run = PdesEngine::currentDomain();
+            note_tick = engine.coordinator().now();
+        });
+    });
+
+    PdesEngine::Hooks hooks;
+    engine.run(1'000, hooks);
+    EXPECT_EQ(domain_at_post, 1);
+    EXPECT_EQ(domain_at_run, -1);
+    EXPECT_GE(note_tick, 6u);
+}
+
+TEST(PdesEngine, CrossDomainSendsDrainInDepositOrder)
+{
+    EventQueue coordinator;
+    PdesEngine engine(3, 1, 16, coordinator);
+
+    // Two domains deposit sends in the same window; the drain hook
+    // must observe them in domain-major order (stable within a
+    // domain), independent of event interleaving.
+    for (unsigned d : {2u, 0u}) {
+        engine.shard(d).schedule(2, [&engine, d] {
+            PdesEngine::MeshSend send;
+            send.src = static_cast<int>(d);
+            send.dst = static_cast<int>((d + 1) % 3);
+            send.flits = 1;
+            send.sent = engine.shard(d).now();
+            engine.pushSend(std::move(send));
+        });
+    }
+
+    std::vector<int> drained;
+    PdesEngine::Hooks hooks;
+    hooks.drainSends = [&](std::vector<PdesEngine::MeshSend> &sends,
+                           Tick) {
+        for (const auto &send : sends)
+            drained.push_back(send.src);
+    };
+    engine.run(1'000, hooks);
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0], 0);
+    EXPECT_EQ(drained[1], 2);
+}
+
+// ---------------------------------------------------------------------
+// Whole-system identity across thread counts.
+// ---------------------------------------------------------------------
+
+// The headline property: for each studied configuration, three
+// structurally different workloads (local fine-grained sync, global
+// barriers, task stealing) produce bitwise-identical simulated
+// results at --sim-threads 1, 2, 4 and 8.
+TEST_P(PdesConfigs, IdenticalAcrossThreadCounts)
+{
+    for (const char *name : {"FAM_L", "TB_LG", "UTS"}) {
+        RunResult baseline = runEngine(name, GetParam(), 1);
+        EXPECT_TRUE(baseline.ok())
+            << name << " on " << GetParam().shortName();
+        for (unsigned threads : {2u, 4u, 8u}) {
+            RunResult parallel = runEngine(name, GetParam(), threads);
+            expectSimIdentical(baseline, parallel,
+                               std::string(name) + " on " +
+                                   GetParam().shortName() + " threads=" +
+                                   std::to_string(threads));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, PdesConfigs,
+                         ::testing::ValuesIn(test::allConfigs()),
+                         test::ConfigName());
+
+// Identity must survive fault injection: the per-node fault lanes
+// re-seed deterministically from (seed, node), so chaos runs are as
+// schedule-independent as clean ones.
+TEST(PdesIdentity, HoldsUnderFaultInjection)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        auto faulted = [seed](SystemConfig &config) {
+            config.faults.enabled = true;
+            config.faults.seed = seed;
+        };
+        RunResult baseline =
+            runEngine("FAM_G", ProtocolConfig::dd(), 1, faulted);
+        EXPECT_TRUE(baseline.ok()) << "fault seed " << seed;
+        for (unsigned threads : {2u, 4u}) {
+            RunResult parallel = runEngine(
+                "FAM_G", ProtocolConfig::dd(), threads, faulted);
+            expectSimIdentical(baseline, parallel,
+                               "FAM_G faults seed " +
+                                   std::to_string(seed) + " threads=" +
+                                   std::to_string(threads));
+        }
+    }
+}
+
+// Observability output is part of the contract: the trace ring and
+// race report must serialize to byte-identical JSON at any thread
+// count (staged per-domain, merged in canonical order at barriers).
+TEST(PdesIdentity, TraceAndRaceJsonAreByteIdentical)
+{
+    std::string dir = ::testing::TempDir();
+    auto observe = [](SystemConfig &config) {
+        config.traceEnabled = true;
+        config.raceCheckEnabled = true;
+    };
+
+    std::array<std::string, 2> trace_paths;
+    std::array<std::string, 2> race_paths;
+    const unsigned threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        auto workload = makeScaled("SPM_L", 10);
+        SystemConfig config =
+            engineConfig(ProtocolConfig::dh(), threads[i]);
+        observe(config);
+        System system(config);
+        RunResult result = system.run(*workload);
+        EXPECT_TRUE(result.ok()) << "threads=" << threads[i];
+
+        trace_paths[i] =
+            dir + "/pdes_trace_" + std::to_string(threads[i]) + ".json";
+        race_paths[i] =
+            dir + "/pdes_race_" + std::to_string(threads[i]) + ".json";
+        ASSERT_TRUE(system.trace()->writeChromeJson(trace_paths[i]));
+        ASSERT_TRUE(analysis::writeRaceJson(result.races,
+                                            race_paths[i]));
+    }
+
+    EXPECT_EQ(slurp(trace_paths[0]), slurp(trace_paths[1]))
+        << "trace JSON diverged between --sim-threads=1 and 4";
+    EXPECT_EQ(slurp(race_paths[0]), slurp(race_paths[1]))
+        << "race JSON diverged between --sim-threads=1 and 4";
+    for (int i = 0; i < 2; ++i) {
+        std::remove(trace_paths[i].c_str());
+        std::remove(race_paths[i].c_str());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flag parsing.
+// ---------------------------------------------------------------------
+
+TEST(PdesFlagDeathTest, MalformedSimThreadsExitsTwo)
+{
+    auto parse_one = [](const char *arg) {
+        const char *argv[] = {"harness", arg};
+        bench::Options::parse(2, const_cast<char **>(argv));
+    };
+    // Same strict-parse contract as --max-cycles: garbage must not
+    // silently run the serial path and report engine numbers.
+    EXPECT_EXIT(parse_one("--sim-threads="),
+                ::testing::ExitedWithCode(2), "--sim-threads expects");
+    EXPECT_EXIT(parse_one("--sim-threads=abc"),
+                ::testing::ExitedWithCode(2), "--sim-threads expects");
+    EXPECT_EXIT(parse_one("--sim-threads=4x"),
+                ::testing::ExitedWithCode(2), "--sim-threads expects");
+    EXPECT_EXIT(parse_one("--sim-threads=0"),
+                ::testing::ExitedWithCode(2), "--sim-threads expects");
+    EXPECT_EXIT(parse_one("--sim-threads=99999999999999999999"),
+                ::testing::ExitedWithCode(2), "--sim-threads expects");
+}
+
+TEST(PdesFlag, WellFormedSimThreadsParses)
+{
+    const char *argv[] = {"harness", "--sim-threads=4"};
+    bench::Options opts =
+        bench::Options::parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(opts.simThreads, 4u);
+}

@@ -99,9 +99,20 @@ TEST(Scale, ParallelSweepMatchesSerialAtScale)
         expectSimIdentical(serial[i], parallel[i]);
 }
 
+TEST(Scale, TwelveByTwelveBuildsFullMachine)
+{
+    // 144 nodes used to exceed the old int8_t owner width; with
+    // int16_t owners the 12x12 tier builds like any other.
+    System system(scaledConfig(12));
+    EXPECT_EQ(system.numCus(), 143u);
+    EXPECT_EQ(system.mesh().numNodes(), 144u);
+    EXPECT_EQ(system.numL2Banks(), 144u);
+}
+
 TEST(ScaleDeathTest, MeshBeyondOwnerWidthIsFatal)
 {
-    // CacheLine stores per-word owners as int8_t; a 12x12 mesh (144
-    // nodes) would overflow NodeId 127 and must be rejected up front.
-    EXPECT_DEATH(System system(scaledConfig(12)), "int8_t");
+    // CacheLine stores per-word owners as int16_t; a 182x182 mesh
+    // (33124 nodes) would overflow NodeId 32766 and must be rejected
+    // up front, before any per-node structure is sized.
+    EXPECT_DEATH(System system(scaledConfig(182)), "int16_t");
 }
