@@ -43,7 +43,7 @@ main(int argc, char **argv)
             cells[i].name, std::min(opts.scalePercent, 50u));
         SystemConfig config;
         config.protocol = cells[i].proto;
-        config.mesh.hopLatency = cells[i].hop;
+        config.topology.mesh.hopLatency = cells[i].hop;
         System system(config);
         return system.run(*workload);
     });

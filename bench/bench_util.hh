@@ -75,6 +75,23 @@ struct Options
      * for every N, so any value is safe for figure regeneration.
      */
     unsigned simThreads = 0;
+    /**
+     * Devices in the machine (MachineTopology::devices): each device
+     * gets its own mesh + L2 banks + CUs, joined by the inter-device
+     * link. 1 (the default) reproduces the single-device machine
+     * bitwise.
+     */
+    unsigned devices = 1;
+    /**
+     * Override the inter-device link latency in cycles (0 = keep the
+     * topology default). Only meaningful with --devices >= 2.
+     */
+    Cycles linkLatency = 0;
+    /**
+     * Add the DD+SE (memory-side sync engine) column to the harness's
+     * config matrix.
+     */
+    bool syncEngine = false;
 
     /**
      * Harness-specific option hook: return true if @p arg was
@@ -98,86 +115,175 @@ Options::parse(int argc, char **argv, const ExtraHandler &extra,
     return parse(argc, argv, extra, extra_usage, Options());
 }
 
+/**
+ * One typed command-line flag. Every harness option — boolean
+ * toggles, path strings, lenient legacy counts, and strictly
+ * validated numeric ranges — is one row in a single table, so a new
+ * flag gets parsing, validation, and usage text on every harness by
+ * construction instead of another hand-rolled strncmp branch.
+ */
+struct FlagSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        Toggle,  ///< bare flag, no value
+        String,  ///< --name=TEXT, taken verbatim
+        Lenient, ///< --name=N, legacy atoi (no validation)
+        Number,  ///< --name=N, strict parse + [min, max] check
+    };
+
+    const char *name; ///< flag name including leading dashes
+    Kind kind;
+    /** Inclusive numeric range (Kind::Number only). */
+    unsigned long long min = 0;
+    unsigned long long max = ~0ull;
+    /** Error-message noun phrase, e.g. "a positive cycle count". */
+    const char *expects = "";
+    /** Store the parsed value (num for numeric kinds, text else). */
+    std::function<void(Options &, unsigned long long num,
+                       const char *text)>
+        apply;
+
+    /** Usage fragment: " [--name]", " [--name=N]", " [--name=PATH]". */
+    std::string
+    usage() const
+    {
+        switch (kind) {
+          case Kind::Toggle: return std::string(" [") + name + "]";
+          case Kind::String:
+            return std::string(" [") + name + "=PATH]";
+          default: return std::string(" [") + name + "=N]";
+        }
+    }
+
+    /** Try to consume @p arg; exits(2) on a malformed value. */
+    bool
+    match(const char *arg, Options &opts) const
+    {
+        std::size_t len = std::strlen(name);
+        if (kind == Kind::Toggle) {
+            if (std::strcmp(arg, name) != 0)
+                return false;
+            apply(opts, 0, "");
+            return true;
+        }
+        if (std::strncmp(arg, name, len) != 0 || arg[len] != '=')
+            return false;
+        const char *value = arg + len + 1;
+        switch (kind) {
+          case Kind::String:
+            apply(opts, 0, value);
+            return true;
+          case Kind::Lenient:
+            apply(opts, static_cast<unsigned long long>(
+                            std::atoi(value)),
+                  value);
+            return true;
+          default:
+            break;
+        }
+        // Strict parse: a garbled count must not silently fall back
+        // to a default and masquerade as the requested experiment.
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long num = std::strtoull(value, &end, 10);
+        if (*value == '\0' || end == nullptr || *end != '\0' ||
+            errno == ERANGE || num < min || num > max) {
+            std::cerr << "error: " << name << " expects " << expects
+                      << ", got '" << value << "'\n";
+            std::exit(2);
+        }
+        apply(opts, num, value);
+        return true;
+    }
+};
+
+/** The table behind Options::parse — one row per common flag. */
+inline const std::vector<FlagSpec> &
+commonFlags()
+{
+    using ull = unsigned long long;
+    static const std::vector<FlagSpec> specs = {
+        {"--scale", FlagSpec::Kind::Lenient, 0, 0, "",
+         [](Options &o, ull num, const char *) {
+             o.scalePercent = static_cast<unsigned>(num);
+         }},
+        {"--jobs", FlagSpec::Kind::Lenient, 0, 0, "",
+         [](Options &o, ull num, const char *) {
+             o.jobs = SweepRunner::resolveJobs(
+                 static_cast<unsigned>(num));
+         }},
+        {"--json", FlagSpec::Kind::String, 0, 0, "",
+         [](Options &o, ull, const char *text) {
+             o.jsonPath = text;
+         }},
+        {"--trace", FlagSpec::Kind::String, 0, 0, "",
+         [](Options &o, ull, const char *text) {
+             o.tracePath = text;
+         }},
+        {"--race-check", FlagSpec::Kind::Toggle, 0, 0, "",
+         [](Options &o, ull, const char *) { o.raceCheck = true; }},
+        {"--race-json", FlagSpec::Kind::String, 0, 0, "",
+         [](Options &o, ull, const char *text) {
+             o.raceJsonPath = text;
+             o.raceCheck = true;
+         }},
+        {"--race-cap", FlagSpec::Kind::Number, 1, ~0ull,
+         "a positive record count",
+         [](Options &o, ull num, const char *) {
+             o.raceCap = static_cast<std::size_t>(num);
+             o.raceCheck = true;
+         }},
+        {"--max-cycles", FlagSpec::Kind::Number, 1, ~0ull,
+         "a positive cycle count",
+         [](Options &o, ull num, const char *) {
+             o.maxCycles = static_cast<Tick>(num);
+         }},
+        {"--sim-threads", FlagSpec::Kind::Number, 1, 1024,
+         "a thread count in [1, 1024]",
+         [](Options &o, ull num, const char *) {
+             o.simThreads = static_cast<unsigned>(num);
+         }},
+        {"--devices", FlagSpec::Kind::Number, 1, 64,
+         "a device count in [1, 64]",
+         [](Options &o, ull num, const char *) {
+             o.devices = static_cast<unsigned>(num);
+         }},
+        {"--link-latency", FlagSpec::Kind::Number, 1, ~0ull,
+         "a positive cycle count",
+         [](Options &o, ull num, const char *) {
+             o.linkLatency = static_cast<Cycles>(num);
+         }},
+        {"--sync-engine", FlagSpec::Kind::Toggle, 0, 0, "",
+         [](Options &o, ull, const char *) { o.syncEngine = true; }},
+        {"--no-breakdowns", FlagSpec::Kind::Toggle, 0, 0, "",
+         [](Options &o, ull, const char *) { o.breakdowns = false; }},
+    };
+    return specs;
+}
+
 inline Options
 Options::parse(int argc, char **argv, const ExtraHandler &extra,
                const char *extra_usage, Options defaults)
 {
     Options opts = defaults;
+    const std::vector<FlagSpec> &specs = commonFlags();
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-            opts.scalePercent =
-                static_cast<unsigned>(std::atoi(argv[i] + 8));
-        } else if (std::strcmp(argv[i], "--no-breakdowns") == 0) {
-            opts.breakdowns = false;
-        } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-            opts.jobs = SweepRunner::resolveJobs(
-                static_cast<unsigned>(std::atoi(argv[i] + 7)));
-        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-            opts.jsonPath = argv[i] + 7;
-        } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-            opts.tracePath = argv[i] + 8;
-        } else if (std::strcmp(argv[i], "--race-check") == 0) {
-            opts.raceCheck = true;
-        } else if (std::strncmp(argv[i], "--race-json=", 12) == 0) {
-            opts.raceJsonPath = argv[i] + 12;
-            opts.raceCheck = true;
-        } else if (std::strncmp(argv[i], "--max-cycles=", 13) == 0) {
-            // Strict parse: a garbled cycle budget must not silently
-            // run with the default and masquerade as a clean sweep.
-            const char *value = argv[i] + 13;
-            char *end = nullptr;
-            errno = 0;
-            unsigned long long cycles = std::strtoull(value, &end, 10);
-            if (*value == '\0' || end == nullptr || *end != '\0' ||
-                errno == ERANGE || cycles == 0) {
-                std::cerr << "error: --max-cycles expects a positive "
-                             "cycle count, got '"
-                          << value << "'\n";
-                std::exit(2);
+        bool consumed = false;
+        for (const FlagSpec &spec : specs) {
+            if (spec.match(argv[i], opts)) {
+                consumed = true;
+                break;
             }
-            opts.maxCycles = static_cast<Tick>(cycles);
-        } else if (std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
-            // Strict parse: a garbled thread count must not silently
-            // fall back to the serial path and report engine numbers.
-            const char *value = argv[i] + 14;
-            char *end = nullptr;
-            errno = 0;
-            unsigned long long threads = std::strtoull(value, &end, 10);
-            if (*value == '\0' || end == nullptr || *end != '\0' ||
-                errno == ERANGE || threads == 0 || threads > 1024) {
-                std::cerr << "error: --sim-threads expects a thread "
-                             "count in [1, 1024], got '"
-                          << value << "'\n";
-                std::exit(2);
-            }
-            opts.simThreads = static_cast<unsigned>(threads);
-        } else if (std::strncmp(argv[i], "--race-cap=", 11) == 0) {
-            // Strict parse: a garbled cap must not silently truncate
-            // at the default and pass a gate it should have failed.
-            const char *value = argv[i] + 11;
-            char *end = nullptr;
-            errno = 0;
-            unsigned long long cap = std::strtoull(value, &end, 10);
-            if (*value == '\0' || end == nullptr || *end != '\0' ||
-                errno == ERANGE || cap == 0) {
-                std::cerr << "error: --race-cap expects a positive "
-                             "record count, got '"
-                          << value << "'\n";
-                std::exit(2);
-            }
-            opts.raceCap = static_cast<std::size_t>(cap);
-            opts.raceCheck = true;
-        } else if (!extra || !extra(argv[i])) {
-            std::cerr << "error: unknown option " << argv[i]
-                      << "\nusage: " << argv[0]
-                      << " [--scale=N] [--jobs=N] [--json=PATH]"
-                         " [--trace=PATH] [--race-check]"
-                         " [--race-json=PATH] [--race-cap=N]"
-                         " [--max-cycles=N] [--sim-threads=N]"
-                         " [--no-breakdowns]"
-                      << extra_usage << "\n";
-            std::exit(2);
         }
+        if (consumed || (extra && extra(argv[i])))
+            continue;
+        std::cerr << "error: unknown option " << argv[i]
+                  << "\nusage: " << argv[0];
+        for (const FlagSpec &spec : specs)
+            std::cerr << spec.usage();
+        std::cerr << extra_usage << "\n";
+        std::exit(2);
     }
     return opts;
 }
@@ -230,17 +336,22 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
     auto workload = makeScaled(workload_name, opts.scalePercent);
     SystemConfig config;
     config.protocol = proto;
-    config.traceEnabled = !opts.tracePath.empty();
-    config.raceCheckEnabled = opts.raceCheck;
-    config.raceRecordCap = opts.raceCap;
-    config.simThreads = opts.simThreads;
+    config.topology.devices = opts.devices;
+    if (opts.linkLatency != 0)
+        config.topology.link.latency = opts.linkLatency;
+    config.observability.traceEnabled = !opts.tracePath.empty();
+    config.checking.raceCheckEnabled = opts.raceCheck;
+    config.checking.raceRecordCap = opts.raceCap;
+    config.execution.simThreads = opts.simThreads;
     if (opts.maxCycles != 0)
-        config.maxCycles = opts.maxCycles;
+        config.execution.maxCycles = opts.maxCycles;
     if (tweak)
         tweak(config);
     System system(config);
     RunResult result = system.run(*workload);
-    if (system.trace()) {
+    // A tweak may enable tracing just for the sync-latency summaries
+    // (BENCH latency blocks); only --trace=PATH writes trace files.
+    if (system.trace() && !opts.tracePath.empty()) {
         std::string path = traceCellPath(opts.tracePath, workload_name,
                                          proto.shortName());
         if (!system.trace()->writeChromeJson(path)) {
@@ -258,6 +369,22 @@ runCell(const std::string &workload_name, const ProtocolConfig &proto,
         }
     }
     return result;
+}
+
+/**
+ * The paper's five-config comparison column set, plus the DD+SE
+ * memory-side sync engine as a sixth column under --sync-engine.
+ */
+inline std::vector<ProtocolConfig>
+standardConfigs(const Options &opts)
+{
+    std::vector<ProtocolConfig> configs = {
+        ProtocolConfig::gd(), ProtocolConfig::gh(),
+        ProtocolConfig::dd(), ProtocolConfig::ddro(),
+        ProtocolConfig::dh()};
+    if (opts.syncEngine)
+        configs.push_back(ProtocolConfig::ddse());
+    return configs;
 }
 
 /** Print diagnostics and exit(1) if any run failed its checks. */

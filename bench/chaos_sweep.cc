@@ -51,10 +51,10 @@ makeConfig(const ProtocolConfig &proto, Tick check_period,
 {
     SystemConfig config;
     config.protocol = proto;
-    config.checkPeriod = check_period;
+    config.checking.checkPeriod = check_period;
     if (fault_seed != 0) {
-        config.faults.enabled = true;
-        config.faults.seed = fault_seed;
+        config.execution.faults.enabled = true;
+        config.execution.faults.seed = fault_seed;
     }
     return config;
 }

@@ -1,10 +1,16 @@
 /**
  * @file
- * Race-detection sweep: nine paper workloads (three from each group)
- * under all five configurations with the happens-before detector
- * enabled. This is the CI race gate — every cell must finish with
- * zero unsuppressed races, and `--race-json=PATH` emits one report
- * per cell for tools/validate_races.py --require-clean.
+ * Race-detection sweep: eleven paper workloads (three from each of
+ * the paper's groups, plus two device-scope mutexes) under all
+ * studied configurations with the happens-before detector enabled.
+ * This is the CI race gate — every cell must finish with zero
+ * unsuppressed races, and `--race-json=PATH` emits one report per
+ * cell for tools/validate_races.py --require-clean.
+ *
+ * With `--devices=2` the device-scope cells become genuinely
+ * middle-scoped (device < global): well-scoped by construction, they
+ * must stay clean on the HRF configs where a mis-scoped fence would
+ * race. At the default one device they degenerate to global scope.
  *
  * Unlike the figure harnesses, the detector is always on here (the
  * sweep is pointless without it); --race-json remains optional.
@@ -23,22 +29,19 @@ main(int argc, char **argv)
     opts.raceCheck = true;
 
     // Three workloads per group so every sync idiom (none, global
-    // scope, local/hybrid scope) is exercised under every config,
-    // including the HRF ones where scope races are possible.
+    // scope, local/hybrid scope, device scope) is exercised under
+    // every config, including the HRF ones where scope races are
+    // possible.
     const std::vector<std::string> names = {
         "ST",    "SGEMM", "LUD",    // no-sync
         "UTS",   "FAM_G", "SPM_G",  // global-sync
         "FAM_L", "SS_L",  "TB_LG",  // local-sync
+        "FAM_D", "SPM_D",           // device-sync
     };
 
-    auto results = runMatrix(
-        names,
-        {ProtocolConfig::gd(), ProtocolConfig::gh(),
-         ProtocolConfig::dd(), ProtocolConfig::ddro(),
-         ProtocolConfig::dh()},
-        opts);
-    std::cout << "=== Race sweep: happens-before detection, nine "
-                 "workloads x five configs ===\n\n";
+    auto results = runMatrix(names, standardConfigs(opts), opts);
+    std::cout << "=== Race sweep: happens-before detection, eleven "
+                 "workloads x all configs ===\n\n";
     emitFigure(results, 0, "RaceSweep", opts);
 
     std::size_t accesses = 0, edges = 0;

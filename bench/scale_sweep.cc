@@ -70,10 +70,8 @@ main(int argc, char **argv)
     // concurrent stack (SS), and producer/consumer flags (SPM).
     const std::vector<std::string> workloads = {"FAM_G", "SPM_G",
                                                 "FAM_L", "SS_L"};
-    const std::vector<ProtocolConfig> configs = {
-        ProtocolConfig::gd(), ProtocolConfig::gh(),
-        ProtocolConfig::dd(), ProtocolConfig::ddro(),
-        ProtocolConfig::dh()};
+    const std::vector<ProtocolConfig> configs =
+        standardConfigs(opts);
 
     for (const auto &scale : kScales) {
         WallTimer timer;
@@ -81,9 +79,9 @@ main(int argc, char **argv)
         auto results =
             runMatrix(workloads, configs, opts,
                       [&](SystemConfig &config) {
-                          config.mesh.width = scale.dim;
-                          config.mesh.height = scale.dim;
-                          config.numCus = num_cus;
+                          config.topology.mesh.width = scale.dim;
+                          config.topology.mesh.height = scale.dim;
+                          config.topology.cusPerDevice = num_cus;
                       });
 
         std::cout << "=== Weak scaling " << scale.label << " ("

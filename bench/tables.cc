@@ -84,11 +84,11 @@ main(int argc, char **argv)
 
     SystemConfig config;
     std::printf("\n=== Table 3: simulated system parameters ===\n");
-    std::printf("GPU CUs                    %u\n", config.numCus);
+    std::printf("GPU CUs                    %u\n", config.numCus());
     std::printf("Mesh                       %ux%u, %llu cycles/hop\n",
-                config.mesh.width, config.mesh.height,
+                config.topology.mesh.width, config.topology.mesh.height,
                 static_cast<unsigned long long>(
-                    config.mesh.hopLatency));
+                    config.topology.mesh.hopLatency));
     std::printf("L1 size / assoc            %zu KB / %u-way\n",
                 config.geometry.l1Bytes / 1024,
                 config.geometry.l1Assoc);

@@ -77,7 +77,7 @@ main()
         MisScopedMp workload;
         SystemConfig config;
         config.protocol = proto;
-        config.raceCheckEnabled = true;
+        config.checking.raceCheckEnabled = true;
         System system(config);
         RunResult result = system.run(workload);
 

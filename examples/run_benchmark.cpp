@@ -3,7 +3,7 @@
  * General benchmark runner: run any Table 4 workload on any
  * configuration, optionally dumping the full statistics report.
  *
- * Usage: run_benchmark <workload> <GD|GH|DD|DD+RO|DH>
+ * Usage: run_benchmark <workload> <GD|GH|DD|DD+RO|DH|DD+SE>
  *                      [scale-percent] [--stats] [--progress]
  */
 
@@ -32,8 +32,10 @@ parseConfig(const std::string &name)
         return ProtocolConfig::ddro();
     if (name == "DH")
         return ProtocolConfig::dh();
+    if (name == "DD+SE")
+        return ProtocolConfig::ddse();
     std::cerr << "unknown config " << name
-              << " (want GD, GH, DD, DD+RO, or DH)\n";
+              << " (want GD, GH, DD, DD+RO, DH, or DD+SE)\n";
     std::exit(2);
 }
 
@@ -69,7 +71,7 @@ main(int argc, char **argv)
     SystemConfig config;
     config.protocol = proto;
     if (watchdog != 0)
-        config.maxCycles = watchdog;
+        config.execution.maxCycles = watchdog;
     System system(config);
 
     if (progress) {

@@ -81,9 +81,12 @@ describeAccess(std::ostream &os, const RaceAccess &access)
 // Clock primitives
 // ---------------------------------------------------------------------
 
-RaceDetector::RaceDetector(const ProtocolConfig &config)
+RaceDetector::RaceDetector(const ProtocolConfig &config,
+                           unsigned devices, unsigned cusPerDevice)
     : _config(config),
-      _hrf(config.consistency == ConsistencyModel::Hrf)
+      _hrf(config.consistency == ConsistencyModel::Hrf),
+      _cusPerDevice(cusPerDevice ? cusPerDevice : 1),
+      _multiDevice(devices > 1)
 {
 }
 
@@ -129,6 +132,7 @@ RaceDetector::tbStarted(unsigned kernel, unsigned tb_global,
     state.kernel = kernel;
     state.tbGlobal = tb_global;
     state.cu = cu;
+    state.device = cu / _cusPerDevice;
     // Inherit the device clock (everything before this kernel's
     // launch happens-before the TB), then open the TB's own epoch.
     state.real = _base;
@@ -360,19 +364,33 @@ RaceDetector::applySyncPerformed(const SyncOp &op, Tick tick)
     SyncVar &var = _syncVars[op.addr];
     if (state.cu >= var.perCu.size())
         var.perCu.resize(state.cu + 1);
+    if (_multiDevice && state.device >= var.perDevice.size())
+        var.perDevice.resize(state.device + 1);
+
+    // Scope hierarchy: on a single device, Device collapses into
+    // Global (one device IS the whole machine); on multi-device
+    // machines a Device-scope sync reaches its own device's per-device
+    // publication but not the global one.
+    bool reach_device = _multiDevice && scope != Scope::Local;
+    bool reach_global = scope == Scope::Global ||
+                        (!_multiDevice && scope == Scope::Device);
 
     // Acquire side first: the atomic observes every release that
     // performed before it in coherence order (these hooks sit at the
     // applyAtomic sites, so detector order is coherence order). A
     // local-scope acquire only reaches releases made visible through
-    // this CU's L1; a global acquire additionally joins the global
-    // publication.
+    // this CU's L1; a device acquire additionally joins its device's
+    // publication; a global acquire joins the global publication.
     if (op.isAcquire()) {
         if (!var.perCu[state.cu].empty()) {
             join(state.real, var.perCu[state.cu]);
             ++_hbEdges;
         }
-        if (scope == Scope::Global && !var.global.empty()) {
+        if (reach_device && !var.perDevice[state.device].empty()) {
+            join(state.real, var.perDevice[state.device]);
+            ++_hbEdges;
+        }
+        if (reach_global && !var.global.empty()) {
             join(state.real, var.global);
             ++_hbEdges;
         }
@@ -390,12 +408,16 @@ RaceDetector::applySyncPerformed(const SyncOp &op, Tick tick)
         checkAndRecordRead(slot, op.addr, tick, kind);
 
     // Release side: publish this TB's knowledge on the sync word. Any
-    // release is visible to its own CU (shared L1); only global-scope
-    // releases reach other CUs. The shadow clock treats every release
-    // as global — divergence between the two is exactly a scope race.
+    // release is visible to its own CU (shared L1); device-and-wider
+    // releases reach the rest of the device; only global-scope
+    // releases cross the inter-device link. The shadow clock treats
+    // every release as global — divergence between the two is exactly
+    // a scope race.
     if (op.isRelease()) {
         join(var.perCu[state.cu], state.real);
-        if (scope == Scope::Global)
+        if (reach_device)
+            join(var.perDevice[state.device], state.real);
+        if (reach_global)
             join(var.global, state.real);
         if (_hrf)
             join(var.drf, state.drf);

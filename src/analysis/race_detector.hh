@@ -31,6 +31,14 @@
  * reported as a *scope race* — conflicting cross-CU accesses ordered
  * only by local-scope synchronization, the exact bug class HRF
  * invites and the paper argues against.
+ *
+ * Multi-device machines insert a *device* scope between CU-local and
+ * global: a device-scope release reaches acquires anywhere on the
+ * same device but not across the inter-device link. The detector
+ * keeps per-device published clocks (only when constructed with
+ * devices > 1, so single-device runs stay bitwise identical) and the
+ * same shadow-clock divergence reports cross-device pairs ordered
+ * only by device-scope sync as scope races.
  */
 
 #ifndef ANALYSIS_RACE_DETECTOR_HH
@@ -159,7 +167,15 @@ class RaceDetector
     /** Default detailed-record cap before counting-only mode. */
     static constexpr std::size_t kMaxRecords = 128;
 
-    explicit RaceDetector(const ProtocolConfig &config);
+    /**
+     * @p devices / @p cusPerDevice describe the machine topology for
+     * device-scope handling; the defaults (single device) keep the
+     * detector's state layout — and therefore its reports — bitwise
+     * identical to pre-multi-device builds.
+     */
+    explicit RaceDetector(const ProtocolConfig &config,
+                          unsigned devices = 1,
+                          unsigned cusPerDevice = 0);
 
     /**
      * Override the detailed-record cap (--race-cap=N in the
@@ -265,6 +281,7 @@ class RaceDetector
         unsigned kernel = 0;
         unsigned tbGlobal = 0;
         unsigned cu = 0;
+        unsigned device = 0; ///< device the CU belongs to
         Clock real; ///< scope-aware happens-before
         Clock drf;  ///< as-if-all-sync-were-global shadow (HRF only)
     };
@@ -274,6 +291,8 @@ class RaceDetector
     {
         Clock global;                ///< global-scope releases
         std::vector<Clock> perCu;    ///< any-scope releases, by CU
+        /** Device-and-wider releases, by device (multi-device only). */
+        std::vector<Clock> perDevice;
         Clock drf;                   ///< shadow: every release
     };
 
@@ -321,6 +340,9 @@ class RaceDetector
 
     ProtocolConfig _config;
     bool _hrf;
+    unsigned _cusPerDevice;
+    /** Track per-device clocks at all (false on single-device). */
+    bool _multiDevice;
 
     std::vector<TbState> _tbs;
     Clock _base;    ///< device clock: joined at kernel boundaries

@@ -866,10 +866,15 @@ DenovoL1Cache::sync(const SyncOp &op, ValueCallback cb)
                        cb = std::move(cb)](std::uint32_t value) {
             finishSync(op, scope, value, std::move(cb));
         };
-        performSync(op, scope, std::move(finish));
+        if (_config.syncEngine && scope != Scope::Local)
+            performEngineSync(op, scope, std::move(finish));
+        else
+            performSync(op, scope, std::move(finish));
     };
 
-    if (op.isRelease() && scope == Scope::Global) {
+    // Device- and machine-scoped releases both make prior writes
+    // visible beyond this CU's L1, so both drain.
+    if (op.isRelease() && scope != Scope::Local) {
         ++_stats.releaseDrains;
         startDrain(std::move(perform));
     } else {
@@ -881,9 +886,28 @@ void
 DenovoL1Cache::finishSync(const SyncOp &op, Scope scope,
                           std::uint32_t value, ValueCallback cb)
 {
-    if (op.isAcquire() && scope == Scope::Global)
+    if (op.isAcquire() && scope != Scope::Local)
         invalidateValid();
     cb(value);
+}
+
+void
+DenovoL1Cache::performEngineSync(const SyncOp &op, Scope scope,
+                                 ValueCallback cb)
+{
+    // SynCron-style memory-side execution: the sync op travels to the
+    // home bank and performs there; the sync word's ownership never
+    // migrates to this L1, so contended sync variables stop
+    // ping-ponging through the registry's distributed queue.
+    (void)scope;
+    ++_stats.syncMisses;
+    _energy.atomicAlu();
+    DenovoL2Bank &bank = homeBank(op.addr);
+    unsigned flits = flitsForWords(1);
+    _mesh.send(_node, bank.node(), flits, TrafficClass::Atomic,
+               [this, &bank, op, cb = std::move(cb)]() mutable {
+                   bank.handleSyncOp(op, _node, std::move(cb));
+               });
 }
 
 void

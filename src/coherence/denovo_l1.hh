@@ -314,6 +314,13 @@ class DenovoL1Cache : public L1Controller
 
     void performSync(const SyncOp &op, Scope scope, ValueCallback cb);
     void performLocalHrfSync(const SyncOp &op, ValueCallback cb);
+
+    /**
+     * DD+SE: perform the atomic at the home bank's sync engine
+     * instead of registering ownership of the sync word here.
+     */
+    void performEngineSync(const SyncOp &op, Scope scope,
+                           ValueCallback cb);
     void finishSync(const SyncOp &op, Scope scope, std::uint32_t value,
                     ValueCallback cb);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/race_detector.hh"
 #include "coherence/denovo_l1.hh"
 #include "trace/trace_sink.hh"
 
@@ -41,7 +42,10 @@ DenovoL2Bank::DenovoL2Bank(const std::string &name, EventQueue &eq,
       _dramFetches(stats.registerScalar(name + ".dram_fetches",
                                         "line fetches from memory")),
       _dramWritebacks(stats.registerScalar(
-          name + ".dram_writebacks", "line writebacks to memory"))
+          name + ".dram_writebacks", "line writebacks to memory")),
+      _engineSyncs(stats.registerScalar(
+          name + ".engine_syncs",
+          "sync ops executed at the bank's sync engine (DD+SE)"))
 {
 }
 
@@ -189,14 +193,20 @@ DenovoL2Bank::startRecall(CacheLine &victim)
 {
     ++_recallsStat;
     RecallState &state = _recalls[victim.addr];
+    PendingSyncState *pending = _pendingSyncs.find(victim.addr);
 
     // Group registered words by owner and pull them back.
     std::fill(_fwdScratch.begin(), _fwdScratch.end(), WordMask{0});
     for (unsigned w = 0; w < kWordsPerLine; ++w) {
         if (victim.wstate[w] == WordState::Registered) {
+            WordMask bit = static_cast<WordMask>(1u << w);
+            state.outstanding |= bit;
+            // A sync-engine reclaim already in flight doubles as the
+            // recall transfer for its word; don't pull twice.
+            if (pending && (pending->requested & bit))
+                continue;
             _fwdScratch[static_cast<std::size_t>(victim.owner[w])] |=
-                static_cast<WordMask>(1u << w);
-            state.outstanding |= static_cast<WordMask>(1u << w);
+                bit;
         }
     }
     Addr line_addr = victim.addr;
@@ -233,7 +243,23 @@ DenovoL2Bank::handleRecallData(Addr line_addr, WordMask mask,
     }
 
     RecallState *state = _recalls.find(line_addr);
-    panic_if(!state, "recall data without recall state");
+    if (!state) {
+        // Not an eviction recall: the words were reclaimed by the
+        // sync engine (handleSyncOp on a registered word). The line
+        // stays resident; perform the sync ops that were waiting.
+        PendingSyncState *pending = _pendingSyncs.find(line_addr);
+        panic_if(!pending, "recall data without recall or "
+                           "pending-sync state");
+        pending->requested &= ~mask;
+        servePendingSyncs(*line, line_addr);
+        return;
+    }
+    // An eviction recall owns the response now, even for words a
+    // sync-engine reclaim pulled: the queued sync ops replay after
+    // the recall completes (finishRecall), against the refetched
+    // line.
+    if (PendingSyncState *pending = _pendingSyncs.find(line_addr))
+        pending->requested &= ~mask;
     state->outstanding &= ~mask;
     if (state->outstanding == 0)
         finishRecall(line_addr);
@@ -257,6 +283,18 @@ DenovoL2Bank::finishRecall(Addr line_addr)
         scheduleIn(0, std::move(fn));
     for (Addr blocked : state.blockedFetches)
         finishFetch(blocked);
+
+    if (PendingSyncState *pending = _pendingSyncs.find(line_addr)) {
+        // The recall wrote every reclaimed word back to memory;
+        // replay the queued sync ops against the refetched line.
+        auto ops = std::move(pending->ops);
+        _pendingSyncs.erase(line_addr);
+        for (auto &p : ops) {
+            scheduleIn(0, [this, p = std::move(p)]() mutable {
+                handleSyncOp(p.op, p.requestor, std::move(p.reply));
+            });
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -457,6 +495,123 @@ DenovoL2Bank::handleWriteBack(Addr line_addr, WordMask mask,
 }
 
 // ---------------------------------------------------------------------
+// Memory-side sync engine (DD+SE)
+// ---------------------------------------------------------------------
+
+void
+DenovoL2Bank::handleSyncOp(const SyncOp &op, NodeId requestor,
+                           ValueCallback reply)
+{
+    ++_engineSyncs;
+    withLine(op.addr, [this, op, requestor,
+                       reply = std::move(reply)](CacheLine &line) mutable {
+        Addr line_addr = lineAlign(op.addr);
+        unsigned w = wordInLine(op.addr);
+        bool registered = line.wstate[w] == WordState::Registered;
+
+        // Syncs on the same word must perform in arrival order: if
+        // older ops are already queued for this word, join the queue
+        // even when the word itself has returned.
+        bool word_waiting = false;
+        if (PendingSyncState *pending = _pendingSyncs.find(line_addr)) {
+            for (const PendingSync &p : pending->ops) {
+                if (wordInLine(p.op.addr) == w) {
+                    word_waiting = true;
+                    break;
+                }
+            }
+        }
+        if (!registered && !word_waiting) {
+            performEngineSync(line, op, requestor, std::move(reply));
+            return;
+        }
+
+        // The word lives in an L1 (it was registered by plain data
+        // writes, e.g. initialization in an earlier kernel): pull it
+        // back and queue the op behind the reclaim.
+        PendingSyncState &state = _pendingSyncs[line_addr];
+        state.ops.push_back({op, requestor, std::move(reply)});
+        if (registered)
+            issueSyncReclaim(line, line_addr,
+                             static_cast<WordMask>(1u << w));
+    });
+}
+
+void
+DenovoL2Bank::performEngineSync(CacheLine &line, const SyncOp &op,
+                                NodeId requestor, ValueCallback reply)
+{
+    _energy.atomicAlu();
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L2Atomic, _node,
+                       op.addr, 0,
+                       static_cast<std::uint16_t>(requestor));
+    }
+    if (_races)
+        _races->syncPerformed(op, curTick());
+    unsigned w = wordInLine(op.addr);
+    AtomicResult res = applyAtomic(op, line.data[w]);
+    if (res.stored) {
+        line.data[w] = res.newValue;
+        line.dirty |= static_cast<WordMask>(1u << w);
+    }
+    _mesh.send(_node, requestor, flitsForWords(1), TrafficClass::Atomic,
+               [reply = std::move(reply), v = res.returned] {
+                   reply(v);
+               });
+}
+
+void
+DenovoL2Bank::issueSyncReclaim(CacheLine &line, Addr line_addr,
+                               WordMask bit)
+{
+    PendingSyncState &state = _pendingSyncs[line_addr];
+    if (state.requested & bit)
+        return; // reclaim already in flight
+    state.requested |= bit;
+    ++_forwards;
+
+    unsigned w = 0;
+    while (!(bit & (1u << w)))
+        ++w;
+    NodeId owner = line.owner[w];
+    DenovoL1Cache *l1 = _l1s[static_cast<std::size_t>(owner)];
+    _mesh.send(_node, owner, kControlFlits, TrafficClass::Atomic,
+               [l1, line_addr, bit, node = _node] {
+                   l1->handleTransferReq(line_addr, bit, node, false,
+                                         true);
+               });
+}
+
+void
+DenovoL2Bank::servePendingSyncs(CacheLine &line, Addr line_addr)
+{
+    PendingSyncState *state = _pendingSyncs.find(line_addr);
+    if (!state)
+        return;
+    std::deque<PendingSync> keep;
+    while (!state->ops.empty()) {
+        PendingSync entry = std::move(state->ops.front());
+        state->ops.pop_front();
+        unsigned w = wordInLine(entry.op.addr);
+        if (line.wstate[w] == WordState::Registered) {
+            // A racing data registration took the word again before
+            // this op could perform: reclaim once more.
+            issueSyncReclaim(line, line_addr,
+                             static_cast<WordMask>(1u << w));
+            keep.push_back(std::move(entry));
+            continue;
+        }
+        performEngineSync(line, entry.op, entry.requestor,
+                          std::move(entry.reply));
+    }
+    if (keep.empty() && state->requested == 0)
+        _pendingSyncs.erase(line_addr);
+    else
+        state->ops = std::move(keep);
+}
+
+// ---------------------------------------------------------------------
 // Test hooks
 // ---------------------------------------------------------------------
 
@@ -492,6 +647,7 @@ DenovoL2Bank::snapshot() const
     snap.gauge("fetches", _fetches.size());
     snap.gauge("stalled", _stalled.size());
     snap.gauge("recalls", _recalls.size());
+    snap.gauge("pending_syncs", _pendingSyncs.size());
     _fetches.forEach([&](Addr line_addr, const FetchEntry &entry) {
         std::ostringstream os;
         os << "fetch line 0x" << std::hex << line_addr << std::dec
@@ -521,7 +677,8 @@ DenovoL2Bank::checkInvariants(bool quiesced) const
                 continue;
             NodeId owner = line.owner[w];
             if (owner < 0 ||
-                static_cast<std::size_t>(owner) >= _l1s.size()) {
+                static_cast<std::size_t>(owner) >= _l1s.size() ||
+                _l1s[static_cast<std::size_t>(owner)] == nullptr) {
                 std::ostringstream os;
                 os << name() << ": word 0x" << std::hex
                    << (line.addr + w * kWordBytes) << std::dec

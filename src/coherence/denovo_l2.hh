@@ -84,9 +84,20 @@ class DenovoL2Bank : public L2Controller
                          const LineData &data, NodeId requestor,
                          DoneCallback ack);
 
-    /** Ownership + data returned by an L1 during an L2 recall. */
+    /** Ownership + data returned by an L1 during an L2 recall (or a
+     *  sync-engine reclaim, which reuses the recall response path). */
     void handleRecallData(Addr line_addr, WordMask mask,
                           const LineData &data);
+
+    /**
+     * DD+SE memory-side sync engine: perform @p op at this bank and
+     * reply with the returned value. If the sync word is registered
+     * to an L1 (e.g. it was written as plain data by an earlier
+     * kernel), the bank first reclaims it; queued sync ops on the
+     * same word perform in arrival order once the word returns.
+     */
+    void handleSyncOp(const SyncOp &op, NodeId requestor,
+                      ValueCallback reply);
 
     /** Test hooks. */
     std::uint32_t peekWord(Addr addr) override;
@@ -180,6 +191,32 @@ class DenovoL2Bank : public L2Controller
     };
     LineTable<RecallState> _recalls;
 
+    /** Sync ops waiting for their word to be reclaimed (DD+SE). */
+    struct PendingSync
+    {
+        SyncOp op;
+        NodeId requestor = kNoNode;
+        ValueCallback reply;
+    };
+    struct PendingSyncState
+    {
+        /** Words with a reclaim transfer request in flight. */
+        WordMask requested = 0;
+        std::deque<PendingSync> ops;
+    };
+    LineTable<PendingSyncState> _pendingSyncs;
+
+    /** Perform @p op at the bank on a line holding its word. */
+    void performEngineSync(CacheLine &line, const SyncOp &op,
+                           NodeId requestor, ValueCallback reply);
+
+    /** Reclaim @p bit of @p line (registered elsewhere) for a sync. */
+    void issueSyncReclaim(CacheLine &line, Addr line_addr,
+                          WordMask bit);
+
+    /** Run queued sync ops whose words returned to the bank. */
+    void servePendingSyncs(CacheLine &line, Addr line_addr);
+
     stats::Handle<stats::Scalar> _reads;
     stats::Handle<stats::Scalar> _registrations;
     stats::Handle<stats::Scalar> _syncRegistrations;
@@ -189,6 +226,8 @@ class DenovoL2Bank : public L2Controller
     stats::Handle<stats::Scalar> _recallsStat;
     stats::Handle<stats::Scalar> _dramFetches;
     stats::Handle<stats::Scalar> _dramWritebacks;
+    /** Sync ops executed at this bank's sync engine (DD+SE). */
+    stats::Handle<stats::Scalar> _engineSyncs;
 };
 
 } // namespace nosync

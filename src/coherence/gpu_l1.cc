@@ -518,7 +518,9 @@ GpuL1Cache::sync(const SyncOp &op, ValueCallback cb)
             performRemoteAtomic(op, std::move(finish));
     };
 
-    if (op.isRelease() && scope == Scope::Global) {
+    // Device- and machine-scoped releases both make prior writes
+    // visible beyond this CU's L1, so both drain.
+    if (op.isRelease() && scope != Scope::Local) {
         ++_stats.releaseDrains;
         startDrain(std::move(perform));
     } else {
@@ -530,7 +532,7 @@ void
 GpuL1Cache::finishSync(const SyncOp &op, Scope scope,
                        std::uint32_t value, ValueCallback cb)
 {
-    if (op.isAcquire() && scope == Scope::Global)
+    if (op.isAcquire() && scope != Scope::Local)
         flashInvalidate();
     cb(value);
 }

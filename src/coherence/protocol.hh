@@ -32,13 +32,15 @@ enum class ConsistencyModel
 };
 
 /**
- * Synchronization scope annotation. Under DRF the annotation is
- * ignored and every synchronization behaves as Global.
+ * Synchronization scope annotation, ordered from narrowest to widest.
+ * Under DRF the annotation is ignored and every synchronization
+ * behaves as Global.
  */
 enum class Scope
 {
     Local,  ///< CU-local: thread blocks sharing one L1
-    Global, ///< device-wide: all CUs and the CPU
+    Device, ///< device-local: all CUs of the issuing device
+    Global, ///< machine-wide: every device's CUs and CPUs
 };
 
 /** Ordering semantics of a synchronization access. */
@@ -143,6 +145,16 @@ struct ProtocolConfig
      */
     bool syncReadBackoff = false;
 
+    /**
+     * SynCron-style memory-side sync engine (DD+SE): non-CU-local
+     * synchronization executes at the home L2 bank instead of
+     * migrating ownership of the sync word to the issuing L1. The
+     * data protocol is unchanged — only the sync path moves to the
+     * memory side. Meaningful for the DeNovo protocol; GPU coherence
+     * already performs remote atomics at the bank.
+     */
+    bool syncEngine = false;
+
     /** Effective scope of a sync access under this configuration. */
     Scope
     effectiveScope(Scope annotated) const
@@ -151,7 +163,8 @@ struct ProtocolConfig
                                                     : Scope::Global;
     }
 
-    /** Short name used throughout the paper (GD, GH, DD, DD+RO, DH). */
+    /** Short name used throughout the paper (GD, GH, DD, DD+RO, DH)
+     *  plus the sync-engine column (DD+SE). */
     std::string
     shortName() const
     {
@@ -163,6 +176,8 @@ struct ProtocolConfig
             name = "DH";
         else
             name = readOnlyRegions ? "DD+RO" : "DD";
+        if (syncEngine)
+            name += "+SE";
         if (syncReadBackoff)
             name += "+BO";
         return name;
@@ -207,6 +222,15 @@ struct ProtocolConfig
     {
         ProtocolConfig config = dd();
         config.syncReadBackoff = true;
+        return config;
+    }
+
+    /** DD with the SynCron-style memory-side sync engine. */
+    static ProtocolConfig
+    ddse()
+    {
+        ProtocolConfig config = dd();
+        config.syncEngine = true;
         return config;
     }
 };

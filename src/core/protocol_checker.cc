@@ -37,7 +37,7 @@ std::vector<std::string>
 ProtocolChecker::sweep(bool quiesced) const
 {
     std::vector<std::string> out;
-    unsigned num_cus = _sys.config().numCus;
+    unsigned num_cus = _sys.config().numCus();
     unsigned num_nodes = _sys.mesh().numNodes();
 
     auto collect = [&](const std::vector<std::string> &v) {
@@ -93,33 +93,36 @@ ProtocolChecker::sweep(bool quiesced) const
     // registration completes, and stale Valid copies persist until the
     // (lazy) self-invalidation on the reader's next acquire.
 
-    // L1 ownership and the L2 registry agree exactly.
+    // L1 ownership and the L2 registry agree exactly. The registry
+    // names owners by mesh node id, so cross-checking against a CU's
+    // L1 goes through the topology's cu<->node map.
+    const MachineTopology &topo = _sys.config().topology;
     for (const auto &[addr, cus] : owners) {
         unsigned bank = static_cast<unsigned>(
             (lineAlign(addr) / kLineBytes) % num_nodes);
         NodeId reg_owner =
             as<DenovoL2Bank>(_sys.l2Bank(bank))->ownerOf(addr);
-        if (reg_owner != static_cast<NodeId>(cus.front())) {
+        if (reg_owner != topo.nodeOfCu(cus.front())) {
             std::ostringstream os;
             os << "word " << hexWord(addr) << " registered in L1 of cu "
-               << cus.front() << " but the registry names "
-               << reg_owner;
+               << cus.front() << " (node " << topo.nodeOfCu(cus.front())
+               << ") but the registry names node " << reg_owner;
             out.push_back(os.str());
         }
     }
     for (unsigned bank = 0; bank < num_nodes; ++bank) {
         as<DenovoL2Bank>(_sys.l2Bank(bank))
             ->forEachRegisteredWord([&](Addr addr, NodeId owner) {
-                if (owner >= 0 &&
-                    static_cast<unsigned>(owner) < num_cus &&
+                int cu = owner >= 0 ? topo.cuOfNode(owner) : -1;
+                if (cu >= 0 && static_cast<unsigned>(cu) < num_cus &&
                     as<DenovoL1Cache>(
-                        _sys.l1(static_cast<unsigned>(owner)))
+                        _sys.l1(static_cast<unsigned>(cu)))
                         ->ownsWord(addr)) {
                     return;
                 }
                 std::ostringstream os;
                 os << "registry entry: word " << hexWord(addr)
-                   << " owned by cu " << owner
+                   << " owned by node " << owner
                    << " but that L1 does not hold it registered";
                 out.push_back(os.str());
             });

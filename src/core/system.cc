@@ -9,52 +9,50 @@ namespace nosync
 
 System::System(const SystemConfig &config) : _config(config)
 {
-    if (_config.traceEnabled) {
+    // Every inter-field consistency rule lives in one place; a config
+    // that fails validation is refused before any component exists.
+    std::string invalid = _config.validate();
+    fatal_if(!invalid.empty(), "invalid SystemConfig: ", invalid);
+
+    if (_config.observability.traceEnabled) {
         _trace = std::make_unique<trace::TraceSink>(
-            _stats, _config.traceCapacity
-                        ? _config.traceCapacity
+            _stats, _config.observability.traceCapacity
+                        ? _config.observability.traceCapacity
                         : trace::TraceSink::kDefaultCapacity);
     }
-    if (_config.raceCheckEnabled) {
-        _races =
-            std::make_unique<analysis::RaceDetector>(_config.protocol);
-        if (_config.raceRecordCap != 0)
-            _races->setRecordCap(_config.raceRecordCap);
+    if (_config.checking.raceCheckEnabled) {
+        _races = std::make_unique<analysis::RaceDetector>(
+            _config.protocol, _config.topology.devices,
+            _config.topology.cusPerDevice);
+        if (_config.checking.raceRecordCap != 0)
+            _races->setRecordCap(_config.checking.raceRecordCap);
     }
-    // CacheLine packs the per-word owner as int16_t, so NodeId must
-    // fit in [-1, 32766]; reject larger meshes before building any
-    // per-node structures instead of silently truncating owner ids
-    // in the registry.
-    unsigned num_nodes = _config.mesh.width * _config.mesh.height;
-    fatal_if(num_nodes > 32766,
-             "mesh has ", num_nodes,
-             " nodes but CacheLine owner ids are int16_t (max 32766)");
+    const MachineTopology &topo = _config.topology;
+    unsigned num_nodes = topo.numNodes();
 
     _energy = std::make_unique<EnergyModel>(_stats, _config.energy);
-    _mesh = std::make_unique<Mesh>(_eq, _stats, _config.mesh,
-                                   _trace.get());
-    if (_config.faults.enabled) {
-        _faults = std::make_unique<FaultInjector>(_config.faults);
+    _mesh = std::make_unique<Mesh>(_eq, _stats, topo, _trace.get());
+    if (_config.execution.faults.enabled) {
+        _faults =
+            std::make_unique<FaultInjector>(_config.execution.faults);
         _mesh->setFaultInjector(_faults.get());
     }
-
-    fatal_if(_config.numCus >= num_nodes,
-             "need at least one non-CU node for the CPU core");
 
     // Interleave the functional image by line number — the same
     // mapping the L2 banks use — so each bank's misses touch a
     // private map. Pure layout; contents are unchanged.
     _memory.setInterleave(num_nodes);
 
-    if (_config.simThreads >= 1) {
+    if (_config.execution.simThreads >= 1) {
         // Lookahead: the earliest a cross-node message can arrive is
-        // sendTick + hopLatency + flits with flits >= 1, and a
-        // delivery policy may only move arrivals later — so a window
-        // of hopLatency + 1 cycles never needs intra-window
-        // cross-domain delivery.
+        // sendTick + hopLatency + flits with flits >= 1 (the
+        // inter-device link is at least as slow — validate() enforces
+        // link.latency >= hopLatency), and a delivery policy may only
+        // move arrivals later — so a window of hopLatency + 1 cycles
+        // never needs intra-window cross-domain delivery.
         _engine = std::make_unique<PdesEngine>(
-            num_nodes, _config.simThreads,
-            _config.mesh.hopLatency + 1, _eq);
+            num_nodes, _config.execution.simThreads,
+            topo.mesh.hopLatency + 1, _eq);
         _mesh->setEngine(_engine.get());
         if (_faults)
             _faults->enableLanes(num_nodes);
@@ -68,7 +66,9 @@ System::System(const SystemConfig &config) : _config(config)
     bool denovo =
         _config.protocol.protocol == CoherenceProtocol::Denovo;
 
-    // One L2 bank per mesh node (NUCA, Figure 1).
+    // One L2 bank per mesh node of every device (NUCA, Figure 1); the
+    // functional image and the bank homing are striped machine-wide,
+    // so the devices share one global address space.
     for (unsigned node = 0; node < num_nodes; ++node) {
         std::string name = "l2b" + std::to_string(node);
         if (denovo) {
@@ -86,16 +86,19 @@ System::System(const SystemConfig &config) : _config(config)
         }
     }
 
-    // One L1 per GPU CU (nodes 0 .. numCus-1).
-    for (unsigned cu = 0; cu < _config.numCus; ++cu) {
+    // One L1 per GPU CU: device d's CUs sit at that device's local
+    // nodes 0 .. cusPerDevice-1 (the device's last node is its
+    // CPU/gateway core). Global CU index is device-major.
+    for (unsigned cu = 0; cu < topo.totalCus(); ++cu) {
+        NodeId node = topo.nodeOfCu(cu);
         std::string name = "l1." + std::to_string(cu);
         if (denovo) {
             std::vector<DenovoL2Bank *> banks;
             for (auto &bank : _denovoBanks)
                 banks.push_back(bank.get());
             _denovoL1s.push_back(std::make_unique<DenovoL1Cache>(
-                name, eqFor(cu), _stats, *_energy, *_mesh,
-                static_cast<NodeId>(cu), _config.protocol,
+                name, eqFor(static_cast<unsigned>(node)), _stats,
+                *_energy, *_mesh, node, _config.protocol,
                 std::move(banks), _regions, _config.geometry,
                 _config.timings, _trace.get()));
             _l1s.push_back(_denovoL1s.back().get());
@@ -104,8 +107,8 @@ System::System(const SystemConfig &config) : _config(config)
             for (auto &bank : _gpuBanks)
                 banks.push_back(bank.get());
             _gpuL1s.push_back(std::make_unique<GpuL1Cache>(
-                name, eqFor(cu), _stats, *_energy, *_mesh,
-                static_cast<NodeId>(cu), _config.protocol,
+                name, eqFor(static_cast<unsigned>(node)), _stats,
+                *_energy, *_mesh, node, _config.protocol,
                 std::move(banks), _config.geometry, _config.timings,
                 _trace.get()));
             _l1s.push_back(_gpuL1s.back().get());
@@ -113,10 +116,12 @@ System::System(const SystemConfig &config) : _config(config)
     }
 
     if (denovo) {
-        // Wire forwards: registry -> L1 and L1 -> L1.
-        std::vector<DenovoL1Cache *> l1s;
+        // Wire forwards: registry -> L1 and L1 -> L1. Indexed by mesh
+        // node (owner ids are node ids); non-CU nodes hold no L1 and
+        // never own words, so their slots stay null.
+        std::vector<DenovoL1Cache *> l1s(num_nodes, nullptr);
         for (auto &l1 : _denovoL1s)
-            l1s.push_back(l1.get());
+            l1s[static_cast<std::size_t>(l1->node())] = l1.get();
         for (auto &bank : _denovoBanks)
             bank->setL1s(l1s);
         for (auto &l1 : _denovoL1s)
@@ -245,10 +250,15 @@ System::run(Workload &workload)
     if (_races)
         _races->setSuppressions(workload.raceSuppressions());
 
+    std::vector<NodeId> cu_nodes;
+    cu_nodes.reserve(_l1s.size());
+    for (unsigned cu = 0; cu < _l1s.size(); ++cu)
+        cu_nodes.push_back(_config.topology.nodeOfCu(cu));
     GpuDevice device(_eq, _stats, *_energy, _l1s, workload,
-                     _config.seed, _config.kernelLaunchLatency,
+                     _config.execution.seed,
+                     _config.execution.kernelLaunchLatency,
                      _trace.get(), _races.get(), _tbScheduler,
-                     _engine.get());
+                     _engine.get(), std::move(cu_nodes));
 
     bool done = false;
     Tick done_tick = 0;
@@ -262,7 +272,7 @@ System::run(Workload &workload)
     // non-empty and defeat deadlock detection.
     ProtocolChecker checker(*this);
     Tick next_sweep =
-        _config.checkPeriod ? _config.checkPeriod : 0;
+        _config.checking.checkPeriod ? _config.checking.checkPeriod : 0;
     std::vector<std::string> sweep_violations;
 
     if (_engine) {
@@ -287,20 +297,20 @@ System::run(Workload &workload)
                 sweep_violations = checker.sweepRacy();
                 if (!sweep_violations.empty())
                     return true; // fail loudly, with state intact
-                next_sweep = end + _config.checkPeriod;
+                next_sweep = end + _config.checking.checkPeriod;
             }
             return false;
         };
-        _engine->run(_config.maxCycles, hooks);
+        _engine->run(_config.execution.maxCycles, hooks);
     } else {
         while (!done && !_eq.empty() &&
-               _eq.now() < _config.maxCycles) {
+               _eq.now() < _config.execution.maxCycles) {
             _eq.step();
             if (next_sweep && _eq.now() >= next_sweep) {
                 sweep_violations = checker.sweepRacy();
                 if (!sweep_violations.empty())
                     break; // fail loudly, with state intact
-                next_sweep = _eq.now() + _config.checkPeriod;
+                next_sweep = _eq.now() + _config.checking.checkPeriod;
             }
         }
 
@@ -308,7 +318,7 @@ System::run(Workload &workload)
             // Quiesce: in-flight protocol traffic (e.g. eviction
             // writebacks racing the final drain) must land before the
             // hierarchy is inspected for results.
-            _eq.run(_config.maxCycles);
+            _eq.run(_config.execution.maxCycles);
         }
     }
 
@@ -341,13 +351,13 @@ System::run(Workload &workload)
             // wedged schedule during exploration is diagnosable.
             report.reasonCode = HangReport::kBudgetExhausted;
             report.reason = "watchdog: cycle budget (" +
-                            std::to_string(_config.maxCycles) +
+                            std::to_string(_config.execution.maxCycles) +
                             ") exhausted";
         }
         report.workload = result.workload;
         report.config = result.config;
-        report.faultsEnabled = _config.faults.enabled;
-        report.faultSeed = _config.faults.seed;
+        report.faultsEnabled = _config.execution.faults.enabled;
+        report.faultSeed = _config.execution.faults.seed;
         report.tbWaits = device.waitStates();
         report.meshMessages = _mesh->inFlightSnapshot();
         auto keep_busy = [&](ControllerSnapshot snap) {
@@ -380,7 +390,7 @@ System::run(Workload &workload)
     collectMetrics(result);
 
     result.checkFailures = workload.check(*this);
-    if (_config.checkAtQuiesce) {
+    if (_config.checking.checkAtQuiesce) {
         for (auto &v : checker.sweepQuiesced())
             result.checkFailures.push_back(std::move(v));
     }

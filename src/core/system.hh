@@ -123,7 +123,15 @@ class System : public WorkloadEnv
     void writeInit(Addr addr, std::uint32_t value) override;
     std::uint32_t debugRead(Addr addr) override;
     void declareReadOnly(Addr base, Addr bytes) override;
-    unsigned numCus() const override { return _config.numCus; }
+    unsigned numCus() const override { return _config.numCus(); }
+    unsigned numDevices() const override
+    {
+        return _config.topology.devices;
+    }
+    unsigned cusPerDevice() const override
+    {
+        return _config.topology.cusPerDevice;
+    }
     bool hrf() const override
     {
         return _config.protocol.consistency == ConsistencyModel::Hrf;
@@ -149,12 +157,69 @@ class System : public WorkloadEnv
      * config dependence visible at the call site:
      *
      *     if (auto *l1 = as<DenovoL1Cache>(sys.l1(0))) ...
+     *
+     * Indices are machine-global (device-major): on a one-device
+     * machine these are exactly the classic flat accessors, and
+     * device(0) is a view of the whole machine. Multi-device callers
+     * address per-device components through device(d).
      */
     L1Controller &l1(unsigned cu) { return *_l1s.at(cu); }
     L2Controller &l2Bank(unsigned bank) { return *_l2Banks.at(bank); }
     unsigned numL2Banks() const
     {
         return static_cast<unsigned>(_l2Banks.size());
+    }
+
+    /** Per-device addressing of one device's slice of the machine. */
+    class DeviceView
+    {
+      public:
+        DeviceView(System &sys, unsigned dev) : _sys(sys), _dev(dev) {}
+
+        /** This device's L1 for device-local CU @p cu. */
+        L1Controller &
+        l1(unsigned cu) const
+        {
+            return _sys.l1(_dev * _sys.cusPerDevice() + cu);
+        }
+
+        /** This device's L2 bank for device-local node @p bank. */
+        L2Controller &
+        l2Bank(unsigned bank) const
+        {
+            return _sys.l2Bank(
+                _dev * _sys._config.topology.nodesPerDevice() + bank);
+        }
+
+        unsigned numCus() const { return _sys.cusPerDevice(); }
+        unsigned
+        numL2Banks() const
+        {
+            return _sys._config.topology.nodesPerDevice();
+        }
+
+        /** Global node id of this device's CPU/gateway core. */
+        NodeId
+        gatewayNode() const
+        {
+            return _sys._config.topology.gatewayNode(_dev);
+        }
+
+        unsigned index() const { return _dev; }
+
+      private:
+        System &_sys;
+        unsigned _dev;
+    };
+
+    /** View of device @p d's components. */
+    DeviceView
+    device(unsigned d)
+    {
+        fatal_if(d >= _config.topology.devices, "device(", d,
+                 ") on a ", _config.topology.devices,
+                 "-device machine");
+        return DeviceView(*this, d);
     }
 
     /** Trace sink; nullptr unless config().traceEnabled. */

@@ -1,7 +1,17 @@
 /**
  * @file
  * Top-level system configuration (Table 3 plus the studied protocol
- * configuration).
+ * configuration), grouped into named sub-structs:
+ *
+ *   - `topology`       what machine to build (devices x mesh + link)
+ *   - `execution`      how to run it (seed, watchdog, threads, faults)
+ *   - `checking`       correctness machinery (invariant sweeps, races)
+ *   - `observability`  tracing
+ *
+ * One `validate()` owns every inter-field consistency rule; System's
+ * constructor calls it and refuses invalid configurations with the
+ * returned message, so the rules live here instead of scattered
+ * per-seam panics.
  */
 
 #ifndef CORE_SYSTEM_CONFIG_HH
@@ -9,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "coherence/cache_timings.hh"
 #include "coherence/protocol.hh"
@@ -22,83 +33,164 @@ namespace nosync
 /** Everything needed to build a System. */
 struct SystemConfig
 {
-    /** Which of GD / GH / DD / DD+RO / DH to build. */
+    /** Which of GD / GH / DD / DD+RO / DH / DD+SE to build. */
     ProtocolConfig protocol = ProtocolConfig::dd();
 
-    MeshParams mesh{};
+    /**
+     * Machine shape: number of devices, the mesh geometry each device
+     * replicates (CUs + one CPU/gateway node), and the inter-device
+     * link class. The default is the classic one-device machine.
+     */
+    MachineTopology topology{};
+
     CacheGeometry geometry{};
     CacheTimings timings{};
     EnergyParams energy{};
 
-    /** GPU compute units; the remaining mesh node is the CPU core. */
-    unsigned numCus = 15;
+    /** How the run executes: seeding, pacing, threading, chaos. */
+    struct Execution
+    {
+        /** Seed for workload randomness (UTS shape, backoff jitter). */
+        std::uint64_t seed = 1;
 
-    /** Seed for workload randomness (UTS shape, backoff jitter). */
-    std::uint64_t seed = 1;
+        /** CPU-side kernel launch latency (cycles). */
+        Cycles kernelLaunchLatency = 300;
 
-    /** CPU-side kernel launch latency (cycles). */
-    Cycles kernelLaunchLatency = 300;
+        /** Watchdog: abort runs exceeding this many cycles. */
+        Tick maxCycles = 2'000'000'000ull;
 
-    /** Watchdog: abort runs exceeding this many cycles. */
-    Tick maxCycles = 2'000'000'000ull;
+        /**
+         * Parallel in-run simulation (--sim-threads=N): 0 (the
+         * default) keeps the single-queue serial path, byte-for-byte.
+         * N >= 1 switches the run onto the PDES engine — one domain
+         * per mesh node, each advancing its own event-queue shard
+         * within conservative windows of hopLatency + 1 cycles.
+         * Engine output is bitwise identical for every N (including
+         * 1): the merged event order depends only on the fixed
+         * per-node partition, never on thread packing.
+         */
+        unsigned simThreads = 0;
+
+        /** Message-delivery fault injection (chaos testing). */
+        FaultConfig faults{};
+    };
+    Execution execution{};
+
+    /** Correctness machinery riding along with the run. */
+    struct Checking
+    {
+        /**
+         * Period (cycles) of in-run protocol invariant sweeps; 0
+         * turns the periodic sweeps off. Sweeps run from the
+         * simulation driver loop, never from the event queue, so an
+         * otherwise-idle system still deadlock-detects.
+         */
+        Tick checkPeriod = 0;
+
+        /** Run the full invariant sweep after the workload quiesces. */
+        bool checkAtQuiesce = true;
+
+        /**
+         * Happens-before race checking: when set, the System
+         * constructs an analysis::RaceDetector and wires it into the
+         * TB contexts and every coherence controller. Off by default;
+         * the off path never constructs the detector, so checked and
+         * unchecked builds of the same run produce bitwise-identical
+         * simulated results. Unsuppressed races land in
+         * checkFailures.
+         */
+        bool raceCheckEnabled = false;
+
+        /**
+         * Detailed race-record cap (--race-cap=N in the harnesses);
+         * 0 keeps the detector's default
+         * (RaceDetector::kMaxRecords). Races past the cap are still
+         * counted, and the report's `truncated` flag records that
+         * detail was dropped.
+         */
+        std::size_t raceRecordCap = 0;
+    };
+    Checking checking{};
+
+    /** Observability sinks riding along with the run. */
+    struct Observability
+    {
+        /**
+         * Transaction tracing: when set, the System constructs a
+         * trace::TraceSink and wires it into every controller, the
+         * mesh and the GPU device. Off by default; the off path never
+         * constructs the sink, so traced and untraced builds of the
+         * same run produce bitwise-identical simulated results.
+         */
+        bool traceEnabled = false;
+
+        /** Trace ring capacity in events; 0 uses the sink default. */
+        std::size_t traceCapacity = 0;
+    };
+    Observability observability{};
+
+    /** Total GPU compute units across all devices. */
+    unsigned numCus() const { return topology.totalCus(); }
 
     /**
-     * Parallel in-run simulation (--sim-threads=N): 0 (the default)
-     * keeps today's single-queue serial path, byte-for-byte. N >= 1
-     * switches the run onto the PDES engine — the mesh is partitioned
-     * into one domain per node, each advancing its own event-queue
-     * shard within conservative time windows of hopLatency + 1
-     * cycles. Engine output is bitwise identical for every N
-     * (including 1, which runs the same windowed schedule inline
-     * without spawning threads): the merged event order depends only
-     * on the fixed per-node partition, never on thread packing.
+     * Check every inter-field consistency rule in one place.
+     * @return an error message, or "" when the config is buildable.
      */
-    unsigned simThreads = 0;
-
-    /** Message-delivery fault injection (chaos testing). */
-    FaultConfig faults{};
-
-    /**
-     * Period (cycles) of in-run protocol invariant sweeps; 0 turns
-     * the periodic sweeps off. Sweeps run from the simulation driver
-     * loop, never from the event queue, so an otherwise-idle system
-     * still deadlock-detects.
-     */
-    Tick checkPeriod = 0;
-
-    /** Run the full invariant sweep after the workload quiesces. */
-    bool checkAtQuiesce = true;
-
-    /**
-     * Transaction tracing: when set, the System constructs a
-     * trace::TraceSink and wires it into every controller, the mesh
-     * and the GPU device. Off by default; the off path never
-     * constructs the sink (a null pointer at every seam), so traced
-     * and untraced builds of the same run produce bitwise-identical
-     * simulated results.
-     */
-    bool traceEnabled = false;
-
-    /** Trace ring capacity in events; 0 uses the sink's default. */
-    std::size_t traceCapacity = 0;
-
-    /**
-     * Happens-before race checking: when set, the System constructs
-     * an analysis::RaceDetector and wires it into the TB contexts and
-     * every coherence controller. Off by default; like tracing, the
-     * off path never constructs the detector, so checked and
-     * unchecked builds of the same run produce bitwise-identical
-     * simulated results. Unsuppressed races land in checkFailures.
-     */
-    bool raceCheckEnabled = false;
-
-    /**
-     * Detailed race-record cap (--race-cap=N in the harnesses); 0
-     * keeps the detector's default (RaceDetector::kMaxRecords).
-     * Races past the cap are still counted, and the report's
-     * `truncated` flag records that detail was dropped.
-     */
-    std::size_t raceRecordCap = 0;
+    std::string
+    validate() const
+    {
+        unsigned per_dev = topology.nodesPerDevice();
+        unsigned num_nodes = topology.numNodes();
+        if (topology.devices < 1)
+            return "topology needs at least one device";
+        if (topology.devices > 64)
+            return "topology supports at most 64 devices, got " +
+                   std::to_string(topology.devices);
+        if (topology.mesh.width < 1 || topology.mesh.height < 1)
+            return "per-device mesh must be at least 1x1";
+        if (topology.cusPerDevice < 1)
+            return "each device needs at least one CU";
+        if (topology.cusPerDevice >= per_dev)
+            return "need at least one non-CU node per device for the "
+                   "CPU/gateway core (" +
+                   std::to_string(topology.cusPerDevice) +
+                   " CUs on a " + std::to_string(per_dev) +
+                   "-node mesh)";
+        // CacheLine packs the per-word owner as int16_t, so NodeId
+        // must fit in [-1, 32766]; reject larger machines before
+        // building any per-node structures instead of silently
+        // truncating owner ids in the registry.
+        if (num_nodes > 32766)
+            return "machine has " + std::to_string(num_nodes) +
+                   " nodes but CacheLine owner ids are int16_t "
+                   "(max 32766)";
+        // Route entries store link indices as uint16_t.
+        if (static_cast<std::size_t>(num_nodes) * 4 +
+                static_cast<std::size_t>(topology.devices) *
+                    topology.devices >
+            65535)
+            return "machine link table exceeds the 16-bit route "
+                   "index space";
+        if (topology.devices > 1) {
+            if (topology.link.cyclesPerFlit < 1)
+                return "inter-device link needs cyclesPerFlit >= 1";
+            // The PDES window is hopLatency + 1 cycles; a faster
+            // inter-device link would allow intra-window cross-domain
+            // delivery and break the conservative lookahead.
+            if (topology.link.latency < topology.mesh.hopLatency)
+                return "inter-device link latency (" +
+                       std::to_string(topology.link.latency) +
+                       ") must be at least the mesh hop latency (" +
+                       std::to_string(topology.mesh.hopLatency) +
+                       ") to preserve the PDES lookahead window";
+        }
+        if (execution.simThreads > 1024)
+            return "simThreads must be in [0, 1024], got " +
+                   std::to_string(execution.simThreads);
+        if (execution.maxCycles == 0)
+            return "maxCycles watchdog cannot be zero";
+        return "";
+    }
 
     /** Convenience: same machine, different protocol configuration. */
     SystemConfig

@@ -65,8 +65,8 @@ runSchedule(const std::string &program, const ProtocolConfig &proto,
 
     SystemConfig config;
     config.protocol = proto;
-    config.raceCheckEnabled = true;
-    config.maxCycles = budget.maxCyclesPerSchedule;
+    config.checking.raceCheckEnabled = true;
+    config.execution.maxCycles = budget.maxCyclesPerSchedule;
 
     ChoiceScript choices(script);
     DecisionLog log;

@@ -12,8 +12,10 @@ GpuDevice::GpuDevice(EventQueue &eq, stats::StatSet &stats,
                      Cycles kernel_launch_latency,
                      trace::TraceSink *trace,
                      analysis::RaceDetector *races,
-                     TbScheduler *sched, PdesEngine *engine)
-    : SimObject("gpu", eq), _l1s(std::move(cu_l1s)), _energy(energy),
+                     TbScheduler *sched, PdesEngine *engine,
+                     std::vector<NodeId> cu_nodes)
+    : SimObject("gpu", eq), _l1s(std::move(cu_l1s)),
+      _cuNodes(std::move(cu_nodes)), _energy(energy),
       _workload(workload), _seed(seed),
       _launchLatency(kernel_launch_latency),
       _kernelsLaunched(stats.registerScalar("gpu.kernels_launched",
@@ -76,10 +78,11 @@ GpuDevice::startTbs()
         unsigned race_slot = analysis::kNoRaceSlot;
         if (_races)
             race_slot = _races->tbStarted(_kernel, tb, cu);
-        // With the engine, a TB's coroutine lives on its CU's shard:
-        // every wait it schedules lands in that domain.
+        // With the engine, a TB's coroutine lives on its CU's shard
+        // (the mesh node hosting the CU's L1): every wait it
+        // schedules lands in that domain.
         EventQueue &tb_eq =
-            _engine ? _engine->shard(cu) : eventQueue();
+            _engine ? _engine->shard(shardOf(cu)) : eventQueue();
         _contexts.push_back(std::make_unique<TbContext>(
             tb_eq, *_l1s[cu], _energy, Rng(tb_seed), _kernel,
             tb, cu, tb_on_cu, num_cus,

@@ -31,6 +31,12 @@ namespace nosync
 class GpuDevice : public SimObject
 {
   public:
+    /**
+     * @p cu_nodes maps each global CU index to the mesh node hosting
+     * its L1 (and hence its PDES shard). Empty means the classic
+     * identity mapping (CU i lives on node i), which holds for every
+     * one-device machine.
+     */
     GpuDevice(EventQueue &eq, stats::StatSet &stats,
               EnergyModel &energy,
               std::vector<L1Controller *> cu_l1s, Workload &workload,
@@ -38,7 +44,8 @@ class GpuDevice : public SimObject
               trace::TraceSink *trace = nullptr,
               analysis::RaceDetector *races = nullptr,
               TbScheduler *sched = nullptr,
-              PdesEngine *engine = nullptr);
+              PdesEngine *engine = nullptr,
+              std::vector<NodeId> cu_nodes = {});
 
     /** Run every kernel; @p on_complete fires after the last drain. */
     void run(DoneCallback on_complete);
@@ -57,7 +64,17 @@ class GpuDevice : public SimObject
     void onDrainAck();
     void onKernelDrained();
 
+    /** Shard hosting CU @p cu's coroutine in engine mode. */
+    unsigned
+    shardOf(unsigned cu) const
+    {
+        return _cuNodes.empty()
+                   ? cu
+                   : static_cast<unsigned>(_cuNodes[cu]);
+    }
+
     std::vector<L1Controller *> _l1s;
+    std::vector<NodeId> _cuNodes;
     EnergyModel &_energy;
     Workload &_workload;
     std::uint64_t _seed;

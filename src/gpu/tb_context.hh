@@ -85,24 +85,33 @@ class TbContext
     void
     recordSync(trace::Phase phase, const SyncOp &op)
     {
-        _trace->record(_eq.now(), phase, static_cast<NodeId>(_cu),
-                       op.addr, 0,
-                       op.scope == Scope::Local ? 0 : 1);
+        // aux encodes the scope; values for the original two scopes
+        // predate Scope::Device, so Device takes the next free code.
+        std::uint16_t aux = 0;
+        if (op.scope == Scope::Global)
+            aux = 1;
+        else if (op.scope == Scope::Device)
+            aux = 2;
+        _trace->record(_eq.now(), phase, _l1.node(), op.addr, 0, aux);
     }
 
     /** Latency class of a synchronization access. */
     static trace::TxnClass
     syncClass(const SyncOp &op)
     {
+        bool device = op.scope == Scope::Device;
         switch (op.sem) {
           case SyncSemantics::Acquire:
-            return trace::TxnClass::SyncAcquire;
+            return device ? trace::TxnClass::SyncAcquireDevice
+                          : trace::TxnClass::SyncAcquire;
           case SyncSemantics::Release:
-            return trace::TxnClass::SyncRelease;
+            return device ? trace::TxnClass::SyncReleaseDevice
+                          : trace::TxnClass::SyncRelease;
           case SyncSemantics::AcquireRelease:
             break;
         }
-        return trace::TxnClass::SyncAcqRel;
+        return device ? trace::TxnClass::SyncAcqRelDevice
+                      : trace::TxnClass::SyncAcqRel;
     }
 
     // Race checking ---------------------------------------------------
@@ -540,9 +549,13 @@ class TbContext
           case AtomicFunc::Exchange: func = "exchange"; break;
           case AtomicFunc::CompareSwap: func = "compare-swap"; break;
         }
+        const char *scope = "global";
+        if (op.scope == Scope::Local)
+            scope = "local";
+        else if (op.scope == Scope::Device)
+            scope = "device";
         std::ostringstream os;
-        os << func << " " << describeAddr(op.addr) << " ("
-           << (op.scope == Scope::Local ? "local" : "global")
+        os << func << " " << describeAddr(op.addr) << " (" << scope
            << " scope)";
         return os.str();
     }

@@ -42,8 +42,15 @@ class WorkloadEnv
     /** Declare a read-only region (consumed by DD+RO). */
     virtual void declareReadOnly(Addr base, Addr bytes) = 0;
 
-    /** Number of GPU compute units in the system. */
+    /** Total GPU compute units in the machine, across all devices. */
     virtual unsigned numCus() const = 0;
+
+    /** Devices in the machine; global CU @p cu lives on device
+     *  cu / cusPerDevice(). Single-device machines return 1. */
+    virtual unsigned numDevices() const { return 1; }
+
+    /** CUs per device (numCus() on single-device machines). */
+    virtual unsigned cusPerDevice() const { return numCus(); }
 
     /** The configuration's consistency model supports scopes. */
     virtual bool hrf() const = 0;

@@ -9,8 +9,8 @@ namespace nosync
 {
 
 Mesh::Mesh(EventQueue &eq, stats::StatSet &stats,
-           const MeshParams &params, trace::TraceSink *trace)
-    : SimObject("mesh", eq), _params(params),
+           const MachineTopology &topo, trace::TraceSink *trace)
+    : SimObject("mesh", eq), _topo(topo),
       _flitCrossings(stats.registerVector(
           "noc.flit_crossings", "flit-link crossings by class",
           trafficClassNames())),
@@ -19,8 +19,20 @@ Mesh::Mesh(EventQueue &eq, stats::StatSet &stats,
                                      trafficClassNames())),
       _trace(trace)
 {
-    // Each node has up to 4 outgoing links; index = node * 4 + dir.
-    _linkFree.assign(static_cast<std::size_t>(numNodes()) * 4, 0);
+    // Each node has up to 4 outgoing mesh links (index = node * 4 +
+    // dir); behind them sits one inter-device link per ordered device
+    // pair (index = numNodes * 4 + srcDev * devices + dstDev).
+    std::size_t mesh_links = static_cast<std::size_t>(numNodes()) * 4;
+    std::size_t pair_links =
+        static_cast<std::size_t>(_topo.devices) * _topo.devices;
+    _linkFree.assign(mesh_links + pair_links, 0);
+    _linkLatency.assign(mesh_links + pair_links,
+                        _topo.mesh.hopLatency);
+    _linkFlitCycles.assign(mesh_links + pair_links, 1);
+    for (std::size_t l = mesh_links; l < _linkFree.size(); ++l) {
+        _linkLatency[l] = _topo.link.latency;
+        _linkFlitCycles[l] = _topo.link.cyclesPerFlit;
+    }
     buildRouteTable();
 }
 
@@ -34,9 +46,12 @@ Mesh::hops(NodeId src, NodeId dst) const
 NodeId
 Mesh::nextHop(NodeId at, NodeId dst) const
 {
-    int w = static_cast<int>(_params.width);
-    int ax = at % w, ay = at / w;
-    int dx = dst % w, dy = dst / w;
+    int w = static_cast<int>(_topo.mesh.width);
+    int per_dev = static_cast<int>(_topo.nodesPerDevice());
+    int base = (at / per_dev) * per_dev;
+    int al = at - base, dl = dst - base;
+    int ax = al % w, ay = al / w;
+    int dx = dl % w, dy = dl / w;
     // X first, then Y (dimension-ordered, deadlock-free).
     if (ax < dx)
         return at + 1;
@@ -50,7 +65,7 @@ Mesh::nextHop(NodeId at, NodeId dst) const
 std::size_t
 Mesh::linkIndex(NodeId from, NodeId to) const
 {
-    int w = static_cast<int>(_params.width);
+    int w = static_cast<int>(_topo.mesh.width);
     int dir;
     if (to == from + 1)
         dir = 0; // east
@@ -62,6 +77,19 @@ Mesh::linkIndex(NodeId from, NodeId to) const
         dir = 3; // north
     return static_cast<std::size_t>(from) * 4 +
            static_cast<std::size_t>(dir);
+}
+
+void
+Mesh::appendLocalRoute(NodeId from, NodeId to, unsigned &num_hops)
+{
+    NodeId at = from;
+    while (at != to) {
+        NodeId next = nextHop(at, to);
+        _routeLinks.push_back(
+            static_cast<std::uint16_t>(linkIndex(at, next)));
+        at = next;
+        ++num_hops;
+    }
 }
 
 void
@@ -78,14 +106,20 @@ Mesh::buildRouteTable()
                 static_cast<std::size_t>(dst);
             _routeOffset[pair] =
                 static_cast<std::uint32_t>(_routeLinks.size());
-            NodeId at = src;
             unsigned num_hops = 0;
-            while (at != dst) {
-                NodeId next = nextHop(at, dst);
+            unsigned sd = _topo.deviceOf(src);
+            unsigned dd = _topo.deviceOf(dst);
+            if (sd == dd) {
+                appendLocalRoute(src, dst, num_hops);
+            } else {
+                // XY to the source gateway, one inter-device link,
+                // then XY from the destination gateway.
+                appendLocalRoute(src, _topo.gatewayNode(sd), num_hops);
                 _routeLinks.push_back(static_cast<std::uint16_t>(
-                    linkIndex(at, next)));
-                at = next;
+                    n * 4 + sd * _topo.devices + dd));
                 ++num_hops;
+                appendLocalRoute(_topo.gatewayNode(dd), dst,
+                                 num_hops);
             }
             _hopTable[pair] = static_cast<std::uint8_t>(num_hops);
         }
@@ -162,7 +196,7 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
     Tick t;
     if (src == dst) {
         // Local slice access: no link crossings, small fixed delay.
-        t = curTick() + _params.localLatency;
+        t = curTick() + _topo.mesh.localLatency;
     } else {
         std::size_t pair = static_cast<std::size_t>(src) * numNodes() +
                            static_cast<std::size_t>(dst);
@@ -170,15 +204,18 @@ Mesh::send(NodeId src, NodeId dst, unsigned flits, TrafficClass cls,
         _flitCrossings->add(cls_idx,
                             static_cast<double>(flits) * num_hops);
 
-        // Walk the precomputed XY route accumulating serialization
-        // and queueing delay on every link crossed.
+        // Walk the precomputed route accumulating serialization and
+        // queueing delay on every link crossed (mesh links serialize
+        // one flit per cycle; inter-device links per their class).
         t = curTick();
         const std::uint16_t *link = &_routeLinks[_routeOffset[pair]];
         for (unsigned h = 0; h < num_hops; ++h, ++link) {
             Tick &free_at = _linkFree[*link];
             Tick start = std::max(t, free_at);
-            free_at = start + flits; // 1 flit / cycle / link
-            t = start + flits + _params.hopLatency;
+            Tick serialize = static_cast<Tick>(flits) *
+                             _linkFlitCycles[*link];
+            free_at = start + serialize;
+            t = start + serialize + _linkLatency[*link];
         }
     }
 
@@ -236,7 +273,7 @@ Mesh::engineSend(NodeId src, NodeId dst, unsigned flits,
             // Local slice traffic never leaves the domain: deliver
             // through this node's own shard, consulting the policy's
             // per-node lane so the roll sequence is domain-private.
-            Tick t = now + _params.localLatency;
+            Tick t = now + _topo.mesh.localLatency;
             if (_delivery != nullptr) {
                 t = _delivery->adjust(src, dst, t);
                 if (idempotent && _delivery->rollDuplicate()) {
@@ -272,7 +309,7 @@ Mesh::engineSend(NodeId src, NodeId dst, unsigned flits,
     unsigned num_hops = 0;
     Tick t;
     if (src == dst) {
-        t = now + _params.localLatency;
+        t = now + _topo.mesh.localLatency;
     } else {
         std::size_t pair = static_cast<std::size_t>(src) * numNodes() +
                            static_cast<std::size_t>(dst);
@@ -284,8 +321,10 @@ Mesh::engineSend(NodeId src, NodeId dst, unsigned flits,
         for (unsigned h = 0; h < num_hops; ++h, ++link) {
             Tick &free_at = _linkFree[*link];
             Tick start = std::max(t, free_at);
-            free_at = start + flits;
-            t = start + flits + _params.hopLatency;
+            Tick serialize = static_cast<Tick>(flits) *
+                             _linkFlitCycles[*link];
+            free_at = start + serialize;
+            t = start + serialize + _linkLatency[*link];
         }
     }
     if (_delivery != nullptr) {
@@ -322,8 +361,10 @@ Mesh::drainEngineSends(std::vector<PdesEngine::MeshSend> &sends,
         for (unsigned h = 0; h < num_hops; ++h, ++link) {
             Tick &free_at = _linkFree[*link];
             Tick start = std::max(t, free_at);
-            free_at = start + s.flits;
-            t = start + s.flits + _params.hopLatency;
+            Tick serialize = static_cast<Tick>(s.flits) *
+                             _linkFlitCycles[*link];
+            free_at = start + serialize;
+            t = start + serialize + _linkLatency[*link];
         }
         if (_delivery != nullptr) {
             t = _delivery->adjust(s.src, s.dst, t);
@@ -424,10 +465,16 @@ Cycles
 Mesh::uncontendedLatency(NodeId src, NodeId dst, unsigned flits) const
 {
     if (src == dst)
-        return _params.localLatency;
-    unsigned num_hops = hops(src, dst);
-    return static_cast<Cycles>(num_hops) *
-           (_params.hopLatency + flits);
+        return _topo.mesh.localLatency;
+    std::size_t pair = static_cast<std::size_t>(src) * numNodes() +
+                       static_cast<std::size_t>(dst);
+    Cycles total = 0;
+    const std::uint16_t *link = &_routeLinks[_routeOffset[pair]];
+    for (unsigned h = 0; h < _hopTable[pair]; ++h, ++link) {
+        total += _linkLatency[*link] +
+                 static_cast<Cycles>(flits) * _linkFlitCycles[*link];
+    }
+    return total;
 }
 
 double

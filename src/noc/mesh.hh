@@ -1,13 +1,20 @@
 /**
  * @file
- * 4x4 mesh interconnect model (Garnet-inspired).
+ * Machine interconnect model (Garnet-inspired): a forest of WxH
+ * meshes — one per device — joined by inter-device gateway links.
  *
- * Dimension-ordered (XY) routing over a WxH grid. Each unidirectional
- * link has one-flit-per-cycle bandwidth; a message serializes onto
+ * Within a device: dimension-ordered (XY) routing over its grid.
+ * Across devices: XY to the source device's gateway node, one
+ * inter-device link (fully connected device pairs, each with its own
+ * latency and flit-serialization class), then XY from the destination
+ * gateway. Each unidirectional link carries one flit per
+ * `cyclesPerFlit` cycles (mesh links: 1); a message serializes onto
  * every link it crosses and inherits queueing delay when links are
  * busy, which captures the bursty-writethrough contention that the
  * paper's GPU-coherence discussion hinges on. Flit crossings
- * (flits x links) are accounted per traffic class.
+ * (flits x links) are accounted per traffic class. A one-device
+ * machine takes exactly the classic single-mesh paths, cycle for
+ * cycle.
  *
  * Delivery is closure-based: the sender provides the action to run at
  * the destination when the message arrives, keeping the network
@@ -26,6 +33,7 @@
 
 #include "noc/delivery_policy.hh"
 #include "noc/fault_injector.hh"
+#include "noc/topology.hh"
 #include "noc/traffic.hh"
 #include "sim/event_queue.hh"
 #include "sim/pdes.hh"
@@ -50,17 +58,6 @@ class TraceSink;
  */
 using DeliverFn = SmallFn<112>;
 
-/** Timing/size parameters of the mesh. */
-struct MeshParams
-{
-    unsigned width = 4;
-    unsigned height = 4;
-    /** Per-hop router+link pipeline latency (cycles). */
-    Cycles hopLatency = 3;
-    /** Latency for a node talking to its own local slice. */
-    Cycles localLatency = 1;
-};
-
 /** A message injected but not yet delivered (diagnostics). */
 struct InFlightMsg
 {
@@ -73,17 +70,20 @@ struct InFlightMsg
     bool duplicate = false;
 };
 
-/** 2D mesh with XY routing and per-link serialization. */
+/** Device forest with XY routing and per-link serialization. */
 class Mesh : public SimObject
 {
   public:
     Mesh(EventQueue &eq, stats::StatSet &stats,
-         const MeshParams &params = MeshParams{},
+         const MachineTopology &topo = MachineTopology{},
          trace::TraceSink *trace = nullptr);
 
-    unsigned numNodes() const { return _params.width * _params.height; }
+    unsigned numNodes() const { return _topo.numNodes(); }
 
-    /** Manhattan hop count between two nodes. */
+    /** The topology this fabric was built from. */
+    const MachineTopology &topology() const { return _topo; }
+
+    /** Links crossed between two nodes (inter-device link = 1). */
     unsigned hops(NodeId src, NodeId dst) const;
 
     /**
@@ -169,8 +169,12 @@ class Mesh : public SimObject
     /** Index of the unidirectional link from @p from to @p to. */
     std::size_t linkIndex(NodeId from, NodeId to) const;
 
-    /** Next node on the XY route from @p at toward @p dst. */
+    /** Next node on the XY route from @p at toward @p dst (same
+     *  device; cross-device routes are stitched via gateways). */
     NodeId nextHop(NodeId at, NodeId dst) const;
+
+    /** Append the intra-device XY route @p from -> @p to. */
+    void appendLocalRoute(NodeId from, NodeId to, unsigned &num_hops);
 
     /** Track the message and schedule its delivery at @p arrives. */
     void scheduleDelivery(Tick arrives, NodeId src, NodeId dst,
@@ -180,9 +184,15 @@ class Mesh : public SimObject
     /** Fill the per-pair route/hop tables (ctor helper). */
     void buildRouteTable();
 
-    MeshParams _params;
+    MachineTopology _topo;
     /** Earliest tick each unidirectional link is free. */
     std::vector<Tick> _linkFree;
+    /** Per-link traversal latency: hopLatency on mesh links, the
+     *  link class latency on inter-device links. */
+    std::vector<Cycles> _linkLatency;
+    /** Per-link flit serialization: 1 cycle/flit on mesh links, the
+     *  link class cyclesPerFlit on inter-device links. */
+    std::vector<Cycles> _linkFlitCycles;
     DeliveryPolicy *_delivery = nullptr;
 
     /**

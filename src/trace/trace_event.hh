@@ -80,6 +80,12 @@ enum class TxnClass : std::uint8_t
     SyncAcquire,
     SyncRelease,
     SyncAcqRel,
+    // Device-scope variants (multi-device machines). Appended so the
+    // numeric values — and the trace.latency.<class> stat layout — of
+    // the original classes never change.
+    SyncAcquireDevice,
+    SyncReleaseDevice,
+    SyncAcqRelDevice,
     NumClasses,
 };
 

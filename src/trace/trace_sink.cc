@@ -44,6 +44,9 @@ txnClassName(TxnClass cls)
       case TxnClass::SyncAcquire: return "sync_acquire";
       case TxnClass::SyncRelease: return "sync_release";
       case TxnClass::SyncAcqRel: return "sync_acqrel";
+      case TxnClass::SyncAcquireDevice: return "sync_acquire_device";
+      case TxnClass::SyncReleaseDevice: return "sync_release_device";
+      case TxnClass::SyncAcqRelDevice: return "sync_acqrel_device";
       case TxnClass::NumClasses: break;
     }
     return "unknown";

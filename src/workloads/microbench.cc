@@ -30,9 +30,9 @@ roundAddrs(Addr base, unsigned round, unsigned threads)
 // MutexBench
 // ---------------------------------------------------------------------
 
-MutexBench::MutexBench(MutexKind kind, bool local,
+MutexBench::MutexBench(MutexKind kind, Scope scope,
                        MicrobenchParams params)
-    : _kind(kind), _local(local), _params(params)
+    : _kind(kind), _scope(scope), _params(params)
 {
 }
 
@@ -54,14 +54,38 @@ MutexBench::name() const
         base = "SPMBO";
         break;
     }
-    return base + (_local ? "_L" : "_G");
+    switch (_scope) {
+      case Scope::Local:
+        return base + "_L";
+      case Scope::Device:
+        return base + "_D";
+      case Scope::Global:
+        break;
+    }
+    return base + "_G";
+}
+
+unsigned
+MutexBench::numGroups() const
+{
+    switch (_scope) {
+      case Scope::Local:
+        return _numCus;
+      case Scope::Device:
+        return _numDevices;
+      case Scope::Global:
+        break;
+    }
+    return 1;
 }
 
 void
 MutexBench::init(WorkloadEnv &env)
 {
     _numCus = env.numCus();
-    unsigned groups = _local ? _numCus : 1;
+    _numDevices = env.numDevices();
+    _cusPerDevice = env.cusPerDevice();
+    unsigned groups = numGroups();
     _mutexes.clear();
     _data.clear();
     _roInput.clear();
@@ -93,8 +117,12 @@ MutexBench::kernelInfo(unsigned) const
 SimTask
 MutexBench::tbMain(TbContext &ctx)
 {
-    unsigned group = _local ? ctx.cu() : 0;
-    Scope scope = _local ? Scope::Local : Scope::Global;
+    unsigned group = 0;
+    if (_scope == Scope::Local)
+        group = ctx.cu();
+    else if (_scope == Scope::Device)
+        group = ctx.cu() / _cusPerDevice;
+    Scope scope = _scope;
     MutexAddrs mutex = _mutexes[group];
     Addr data = _data[group];
 
@@ -127,9 +155,9 @@ std::vector<std::string>
 MutexBench::check(WorkloadEnv &env)
 {
     std::vector<std::string> failures;
-    unsigned groups = _local ? _numCus : 1;
+    unsigned groups = numGroups();
     unsigned tbs_per_group =
-        _local ? _params.tbsPerCu : _numCus * _params.tbsPerCu;
+        (_numCus / groups) * _params.tbsPerCu;
     std::uint32_t expected = tbs_per_group * _params.iterations;
     for (unsigned g = 0; g < groups; ++g) {
         for (unsigned w = 0; w < _params.footprintWords(); ++w) {

@@ -49,7 +49,10 @@ struct MicrobenchParams
 class MutexBench : public Workload
 {
   public:
-    MutexBench(MutexKind kind, bool local,
+    /** One mutex per scope instance: per CU (Local), per device
+     *  (Device), or one machine-wide (Global); sync ops carry the
+     *  matching scope, so every variant is well-scoped. */
+    MutexBench(MutexKind kind, Scope scope,
                MicrobenchParams params = {});
 
     std::string name() const override;
@@ -59,10 +62,14 @@ class MutexBench : public Workload
     std::vector<std::string> check(WorkloadEnv &env) override;
 
   private:
+    unsigned numGroups() const;
+
     MutexKind _kind;
-    bool _local;
+    Scope _scope;
     MicrobenchParams _params;
     unsigned _numCus = 0;
+    unsigned _numDevices = 1;
+    unsigned _cusPerDevice = 0;
     std::vector<MutexAddrs> _mutexes; ///< one (local) or one total
     std::vector<Addr> _data;          ///< per-CU (local) or single
     std::vector<Addr> _roInput;       ///< read-only region per group

@@ -65,44 +65,58 @@ workloadRegistry()
         {"FAM_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(MutexKind::FetchAdd,
-                                                 false);
+                                                 Scope::Global);
          }},
         {"SLM_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(MutexKind::Sleep,
-                                                 false);
+                                                 Scope::Global);
          }},
         {"SPM_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(MutexKind::Spin,
-                                                 false);
+                                                 Scope::Global);
          }},
         {"SPMBO_G", "global-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(
-                 MutexKind::SpinBackoff, false);
+                 MutexKind::SpinBackoff, Scope::Global);
+         }},
+
+        // Device-scoped synchronization (multi-device machines): one
+        // mutex per device, synced at device scope. On one device
+        // these degenerate to the _G variants.
+        {"FAM_D", "device-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::FetchAdd,
+                                                 Scope::Device);
+         }},
+        {"SPM_D", "device-sync", "3 TB/CU, 100 iters, 10 Ld&St",
+         [] {
+             return std::make_unique<MutexBench>(MutexKind::Spin,
+                                                 Scope::Device);
          }},
 
         // Locally scoped / hybrid synchronization.
         {"FAM_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(MutexKind::FetchAdd,
-                                                 true);
+                                                 Scope::Local);
          }},
         {"SLM_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(MutexKind::Sleep,
-                                                 true);
+                                                 Scope::Local);
          }},
         {"SPM_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(MutexKind::Spin,
-                                                 true);
+                                                 Scope::Local);
          }},
         {"SPMBO_L", "local-sync", "3 TB/CU, 100 iters, 10 Ld&St",
          [] {
              return std::make_unique<MutexBench>(
-                 MutexKind::SpinBackoff, true);
+                 MutexKind::SpinBackoff, Scope::Local);
          }},
         {"SS_L", "local-sync", "1 writer + 2 readers/CU, 100 iters",
          [] { return std::make_unique<SemaphoreBench>(false); }},
@@ -151,28 +165,34 @@ makeScaled(const std::string &name, unsigned scale_percent)
     MicrobenchParams micro = scaledMicro(scale_percent);
     if (name == "FAM_G")
         return std::make_unique<MutexBench>(MutexKind::FetchAdd,
-                                            false, micro);
+                                            Scope::Global, micro);
     if (name == "SLM_G")
-        return std::make_unique<MutexBench>(MutexKind::Sleep, false,
-                                            micro);
+        return std::make_unique<MutexBench>(MutexKind::Sleep,
+                                            Scope::Global, micro);
     if (name == "SPM_G")
-        return std::make_unique<MutexBench>(MutexKind::Spin, false,
-                                            micro);
+        return std::make_unique<MutexBench>(MutexKind::Spin,
+                                            Scope::Global, micro);
     if (name == "SPMBO_G")
         return std::make_unique<MutexBench>(MutexKind::SpinBackoff,
-                                            false, micro);
+                                            Scope::Global, micro);
+    if (name == "FAM_D")
+        return std::make_unique<MutexBench>(MutexKind::FetchAdd,
+                                            Scope::Device, micro);
+    if (name == "SPM_D")
+        return std::make_unique<MutexBench>(MutexKind::Spin,
+                                            Scope::Device, micro);
     if (name == "FAM_L")
-        return std::make_unique<MutexBench>(MutexKind::FetchAdd, true,
-                                            micro);
+        return std::make_unique<MutexBench>(MutexKind::FetchAdd,
+                                            Scope::Local, micro);
     if (name == "SLM_L")
-        return std::make_unique<MutexBench>(MutexKind::Sleep, true,
-                                            micro);
+        return std::make_unique<MutexBench>(MutexKind::Sleep,
+                                            Scope::Local, micro);
     if (name == "SPM_L")
-        return std::make_unique<MutexBench>(MutexKind::Spin, true,
-                                            micro);
+        return std::make_unique<MutexBench>(MutexKind::Spin,
+                                            Scope::Local, micro);
     if (name == "SPMBO_L")
         return std::make_unique<MutexBench>(MutexKind::SpinBackoff,
-                                            true, micro);
+                                            Scope::Local, micro);
     if (name == "SS_L")
         return std::make_unique<SemaphoreBench>(false, micro);
     if (name == "SSBO_L")

@@ -27,10 +27,10 @@ faultedConfig(const ProtocolConfig &proto, std::uint64_t fault_seed)
 {
     SystemConfig config;
     config.protocol = proto;
-    config.checkPeriod = 1000;
+    config.checking.checkPeriod = 1000;
     if (fault_seed != 0) {
-        config.faults.enabled = true;
-        config.faults.seed = fault_seed;
+        config.execution.faults.enabled = true;
+        config.execution.faults.seed = fault_seed;
     }
     return config;
 }
@@ -150,7 +150,7 @@ TEST(ChaosHang, WatchdogProducesStructuredReport)
     ScopedLeakTolerance tolerate_abandoned_coroutines;
     auto workload = makeScaled("FAM_G", 10);
     SystemConfig config = faultedConfig(ProtocolConfig::dd(), 42);
-    config.maxCycles = 5000;
+    config.execution.maxCycles = 5000;
     System system(config);
     RunResult result = system.run(*workload);
 

@@ -317,7 +317,7 @@ TEST_P(CoherenceProperty, LockedRegionsStayCoherent)
     RandomLockedRegions workload(seed, 6);
     SystemConfig config;
     config.protocol = proto;
-    config.seed = seed;
+    config.execution.seed = seed;
     System system(config);
     RunResult result = system.run(workload);
     ASSERT_TRUE(result.ok()) << result.checkFailures.front();
@@ -329,7 +329,7 @@ TEST_P(CoherenceProperty, KernelRotationSeesFreshData)
     RandomKernelRotation workload(seed);
     SystemConfig config;
     config.protocol = proto;
-    config.seed = seed;
+    config.execution.seed = seed;
     System system(config);
     RunResult result = system.run(workload);
     ASSERT_TRUE(result.ok()) << result.checkFailures.front();

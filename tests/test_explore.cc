@@ -92,8 +92,8 @@ runScripted(const std::string &program, const ProtocolConfig &proto,
 
     SystemConfig config;
     config.protocol = proto;
-    config.raceCheckEnabled = true;
-    config.maxCycles = 2000000;
+    config.checking.raceCheckEnabled = true;
+    config.execution.maxCycles = 2000000;
 
     ChoiceScript choices(script);
     DecisionLog log;

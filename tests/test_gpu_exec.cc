@@ -226,7 +226,7 @@ TEST(GpuExec, KernelLaunchLatencyDelaysStart)
         co_await ctx.wait(1);
     });
     SystemConfig config;
-    config.kernelLaunchLatency = 777;
+    config.execution.kernelLaunchLatency = 777;
     System system(config);
     ASSERT_TRUE(system.run(wl).ok());
     EXPECT_GE(wl.seen[0], 777u);

@@ -271,7 +271,7 @@ class LitmusExtra : public ::testing::TestWithParam<ProtocolConfig>
     {
         SystemConfig config;
         config.protocol = GetParam();
-        config.maxCycles = 100'000'000ull;
+        config.execution.maxCycles = 100'000'000ull;
         System system(config);
         return system.run(workload);
     }

@@ -35,7 +35,7 @@ engineConfig(const ProtocolConfig &proto, unsigned threads)
 {
     SystemConfig config;
     config.protocol = proto;
-    config.simThreads = threads;
+    config.execution.simThreads = threads;
     return config;
 }
 
@@ -218,8 +218,8 @@ TEST(PdesIdentity, HoldsUnderFaultInjection)
 {
     for (std::uint64_t seed : {1u, 2u, 3u}) {
         auto faulted = [seed](SystemConfig &config) {
-            config.faults.enabled = true;
-            config.faults.seed = seed;
+            config.execution.faults.enabled = true;
+            config.execution.faults.seed = seed;
         };
         RunResult baseline =
             runEngine("FAM_G", ProtocolConfig::dd(), 1, faulted);
@@ -242,8 +242,8 @@ TEST(PdesIdentity, TraceAndRaceJsonAreByteIdentical)
 {
     std::string dir = ::testing::TempDir();
     auto observe = [](SystemConfig &config) {
-        config.traceEnabled = true;
-        config.raceCheckEnabled = true;
+        config.observability.traceEnabled = true;
+        config.checking.raceCheckEnabled = true;
     };
 
     std::array<std::string, 2> trace_paths;

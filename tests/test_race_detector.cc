@@ -397,7 +397,7 @@ runRaceChecked(Workload &workload, const ProtocolConfig &proto)
 {
     SystemConfig config;
     config.protocol = proto;
-    config.raceCheckEnabled = true;
+    config.checking.raceCheckEnabled = true;
     System system(config);
     return system.run(workload);
 }
@@ -486,7 +486,7 @@ TEST(RaceCheckIdentity, DisabledDetectorChangesNothing)
         RunResult base = base_system.run(*reference);
 
         auto checked_wl = makeScaled("FAM_G", 10);
-        config.raceCheckEnabled = true;
+        config.checking.raceCheckEnabled = true;
         System checked_system(config);
         RunResult checked = checked_system.run(*checked_wl);
 

@@ -22,9 +22,9 @@ scaledConfig(unsigned dim)
 {
     SystemConfig config;
     config.protocol = ProtocolConfig::dd();
-    config.mesh.width = dim;
-    config.mesh.height = dim;
-    config.numCus = dim * dim - 1;
+    config.topology.mesh.width = dim;
+    config.topology.mesh.height = dim;
+    config.topology.cusPerDevice = dim * dim - 1;
     return config;
 }
 

@@ -38,7 +38,7 @@ class SyncPrimitives : public ::testing::TestWithParam<ProtocolConfig>
     {
         SystemConfig config;
         config.protocol = GetParam();
-        config.maxCycles = 100'000'000ull;
+        config.execution.maxCycles = 100'000'000ull;
         System system(config);
         return system.run(workload);
     }
@@ -48,35 +48,35 @@ class SyncPrimitives : public ::testing::TestWithParam<ProtocolConfig>
 
 TEST_P(SyncPrimitives, FetchAddMutexGlobal)
 {
-    MutexBench bench(MutexKind::FetchAdd, false, tinyParams());
+    MutexBench bench(MutexKind::FetchAdd, Scope::Global, tinyParams());
     RunResult r = runOn(bench);
     EXPECT_TRUE(r.ok()) << r.checkFailures.front();
 }
 
 TEST_P(SyncPrimitives, SleepMutexGlobal)
 {
-    MutexBench bench(MutexKind::Sleep, false, tinyParams());
+    MutexBench bench(MutexKind::Sleep, Scope::Global, tinyParams());
     RunResult r = runOn(bench);
     EXPECT_TRUE(r.ok()) << r.checkFailures.front();
 }
 
 TEST_P(SyncPrimitives, SpinMutexGlobal)
 {
-    MutexBench bench(MutexKind::Spin, false, tinyParams());
+    MutexBench bench(MutexKind::Spin, Scope::Global, tinyParams());
     RunResult r = runOn(bench);
     EXPECT_TRUE(r.ok()) << r.checkFailures.front();
 }
 
 TEST_P(SyncPrimitives, SpinBackoffMutexLocal)
 {
-    MutexBench bench(MutexKind::SpinBackoff, true, tinyParams());
+    MutexBench bench(MutexKind::SpinBackoff, Scope::Local, tinyParams());
     RunResult r = runOn(bench);
     EXPECT_TRUE(r.ok()) << r.checkFailures.front();
 }
 
 TEST_P(SyncPrimitives, SpinMutexLocal)
 {
-    MutexBench bench(MutexKind::Spin, true, tinyParams());
+    MutexBench bench(MutexKind::Spin, Scope::Local, tinyParams());
     RunResult r = runOn(bench);
     EXPECT_TRUE(r.ok()) << r.checkFailures.front();
 }

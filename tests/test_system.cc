@@ -86,7 +86,7 @@ TEST(System, WatchdogReportsFailure)
     // A spin mutex can't finish in 100 cycles.
     auto workload = makeScaled("SPM_G", 10);
     SystemConfig config;
-    config.maxCycles = 100;
+    config.execution.maxCycles = 100;
     System system(config);
     RunResult result = system.run(*workload);
     EXPECT_FALSE(result.ok());

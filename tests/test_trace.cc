@@ -77,7 +77,7 @@ tracedConfig(const ProtocolConfig &proto)
 {
     SystemConfig config;
     config.protocol = proto;
-    config.traceEnabled = true;
+    config.observability.traceEnabled = true;
     return config;
 }
 
@@ -221,7 +221,7 @@ TEST(TraceRun, DisabledTracingLeavesRunResultBitwiseIdentical)
         auto workload = makeScaled("NN", 10);
         SystemConfig config;
         config.protocol = ProtocolConfig::dd();
-        config.traceEnabled = traced;
+        config.observability.traceEnabled = traced;
         System system(config);
         return system.run(*workload);
     };
@@ -249,7 +249,7 @@ TEST(TraceRun, TracedRunReportsPerClassLatencies)
     auto workload = makeScaled("FAM_G", 10);
     SystemConfig config;
     config.protocol = ProtocolConfig::dd();
-    config.traceEnabled = true;
+    config.observability.traceEnabled = true;
     System system(config);
     RunResult result = system.run(*workload);
     ASSERT_TRUE(result.ok());
@@ -274,7 +274,7 @@ TEST(TraceRun, FullRunChromeJsonIsBalanced)
     auto workload = makeScaled("SS_L", 10);
     SystemConfig config;
     config.protocol = ProtocolConfig::gd();
-    config.traceEnabled = true;
+    config.observability.traceEnabled = true;
     System system(config);
     RunResult result = system.run(*workload);
     ASSERT_TRUE(result.ok());

@@ -17,10 +17,11 @@ using namespace nosync::test;
 
 TEST(Registry, HasAllTable4Benchmarks)
 {
-    EXPECT_EQ(workloadRegistry().size(), 23u);
+    EXPECT_EQ(workloadRegistry().size(), 25u);
     EXPECT_EQ(workloadsInGroup("no-sync").size(), 10u);
     EXPECT_EQ(workloadsInGroup("global-sync").size(), 4u);
     EXPECT_EQ(workloadsInGroup("local-sync").size(), 9u);
+    EXPECT_EQ(workloadsInGroup("device-sync").size(), 2u);
 }
 
 TEST(Registry, LookupByName)
@@ -85,7 +86,7 @@ TEST_P(WorkloadRun, FunctionalCheckPasses)
     auto workload = makeScaled(name, 10);
     SystemConfig config;
     config.protocol = proto;
-    config.maxCycles = 200'000'000ull;
+    config.execution.maxCycles = 200'000'000ull;
     System system(config);
     RunResult result = system.run(*workload);
     ASSERT_TRUE(result.ok())
