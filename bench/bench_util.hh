@@ -130,6 +130,7 @@ struct FlagSpec
         String,  ///< --name=TEXT, taken verbatim
         Lenient, ///< --name=N, legacy atoi (no validation)
         Number,  ///< --name=N, strict parse + [min, max] check
+        Real,    ///< --name=X, strict positive-double parse
     };
 
     const char *name; ///< flag name including leading dashes
@@ -152,6 +153,7 @@ struct FlagSpec
           case Kind::Toggle: return std::string(" [") + name + "]";
           case Kind::String:
             return std::string(" [") + name + "=PATH]";
+          case Kind::Real: return std::string(" [") + name + "=X]";
           default: return std::string(" [") + name + "=N]";
         }
     }
@@ -179,6 +181,21 @@ struct FlagSpec
                             std::atoi(value)),
                   value);
             return true;
+          case Kind::Real: {
+            // Strict: the validated text is re-read by apply, so the
+            // double survives the integer-shaped apply signature.
+            char *end = nullptr;
+            errno = 0;
+            double parsed = std::strtod(value, &end);
+            if (*value == '\0' || end == nullptr || *end != '\0' ||
+                errno == ERANGE || parsed <= 0.0) {
+                std::cerr << "error: " << name << " expects "
+                          << expects << ", got '" << value << "'\n";
+                std::exit(2);
+            }
+            apply(opts, 0, value);
+            return true;
+          }
           default:
             break;
         }

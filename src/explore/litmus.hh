@@ -16,15 +16,25 @@
  * allows, and whether the program must flag a scope race (the
  * mis-scoped message-passing program does, exactly on the HRF
  * configurations).
+ *
+ * Each program additionally exposes its declarative twin — an
+ * axiom::Program of the same memory operations with the same scope
+ * annotations — so the axiomatic checker (src/axiom/) can compute the
+ * allowed outcome set and race verdict without running the simulator,
+ * and formatOutcome() renders the checker's final register state in
+ * the exact string format outcome() produces, which is what makes the
+ * two outcome sets directly comparable.
  */
 
 #ifndef EXPLORE_LITMUS_HH
 #define EXPLORE_LITMUS_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "axiom/program.hh"
 #include "gpu/workload.hh"
 
 namespace nosync
@@ -53,6 +63,21 @@ class LitmusWorkload : public Workload
         (void)proto;
         return false;
     }
+
+    /**
+     * The program as a static operation list for the axiomatic
+     * checker: same memory operations, same scope annotations, with
+     * reads landing in numbered registers.
+     */
+    virtual axiom::Program axiomProgram() const = 0;
+
+    /**
+     * Render a final register state of axiomProgram() in the exact
+     * format outcome() produces, so axiomatic and operational
+     * outcome sets compare as plain string sets.
+     */
+    virtual std::string
+    formatOutcome(const std::vector<std::uint32_t> &regs) const = 0;
 };
 
 /** Names of the litmus suite, in canonical order. */

@@ -264,6 +264,63 @@ TEST(Explorer, MisscopedRaceExactlyOnHrfConfigs)
               (std::vector<std::string>{"f=1 d=41"}));
 }
 
+// The engine-side-sync column behaves exactly like the other DRF
+// configs on the suite: same SC outcome sets, misscoped clean (a
+// scope annotation cannot weaken unscoped sync), no races anywhere.
+TEST(Explorer, DdSeSixthConfigOutcomeSets)
+{
+    const ProtocolConfig ddse = ProtocolConfig::ddse();
+
+    CellReport mp = exploreOne("mp", ddse, true);
+    EXPECT_EQ(mp.verdict, "pass");
+    EXPECT_EQ(mp.racySchedules, 0u);
+    EXPECT_EQ(outcomeSet(mp),
+              (std::vector<std::string>{"f=0", "f=1 d=41"}));
+
+    CellReport sb = exploreOne("sb", ddse, true);
+    EXPECT_EQ(sb.verdict, "pass");
+    EXPECT_EQ(outcomeSet(sb),
+              (std::vector<std::string>{"r0=0 r1=1", "r0=1 r1=0",
+                                        "r0=1 r1=1"}));
+
+    CellReport lb = exploreOne("lb", ddse, true);
+    EXPECT_EQ(lb.verdict, "pass");
+    EXPECT_EQ(outcomeSet(lb),
+              (std::vector<std::string>{"r0=0 r1=0", "r0=0 r1=1",
+                                        "r0=1 r1=0"}));
+
+    CellReport miss = exploreOne("misscoped", ddse, true);
+    EXPECT_EQ(miss.verdict, "pass");
+    EXPECT_FALSE(miss.expectScopeRace);
+    EXPECT_EQ(miss.racySchedules, 0u);
+    EXPECT_EQ(outcomeSet(miss),
+              (std::vector<std::string>{"f=1 d=41"}));
+
+    CellReport iriw = exploreOne("iriw", ddse, true);
+    EXPECT_EQ(iriw.verdict, "pass");
+    EXPECT_EQ(iriw.outcomes.size(), 15u);
+    for (const OutcomeCount &outcome : iriw.outcomes)
+        EXPECT_NE(outcome.outcome, "a=1 b=0 c=1 d=0");
+}
+
+// Device-scope message passing on the single-device litmus machine:
+// Device folds into Global, so mp_dev is race-free with the mp
+// outcome set on every config — including the scoped HRF ones.
+TEST(Explorer, MpDevDeviceScopeFoldsOnSingleDevice)
+{
+    for (const ProtocolConfig &proto :
+         {ProtocolConfig::gd(), ProtocolConfig::gh(),
+          ProtocolConfig::dh(), ProtocolConfig::ddse()}) {
+        CellReport cell = exploreOne("mp_dev", proto, true);
+        EXPECT_EQ(cell.verdict, "pass") << proto.shortName();
+        EXPECT_FALSE(cell.expectScopeRace) << proto.shortName();
+        EXPECT_EQ(cell.racySchedules, 0u) << proto.shortName();
+        EXPECT_EQ(outcomeSet(cell),
+                  (std::vector<std::string>{"f=0", "f=1 d=41"}))
+            << proto.shortName();
+    }
+}
+
 // Budget exhaustion degrades to a coverage report with a non-empty
 // frontier and the distinct verdict — never a silent pass.
 TEST(Explorer, BudgetExhaustionIsLoud)
