@@ -78,19 +78,30 @@ main(int argc, char **argv)
     WallTimer timer;
     unsigned num_seeds = 5;
     Tick check_period = 2000;
+    // Harness-specific flags as FlagSpec rows, so they get the same
+    // strict parsing and error text as the common table instead of a
+    // hand-rolled strncmp/atoi branch.
+    const std::vector<FlagSpec> chaos_flags = {
+        {"--seeds", FlagSpec::Kind::Number, 1, 1000,
+         "a seed count in [1, 1000]",
+         [&num_seeds](Options &, unsigned long long num,
+                      const char *) {
+             num_seeds = static_cast<unsigned>(num);
+         }},
+        {"--check-period", FlagSpec::Kind::Number, 1, ~0ull,
+         "a positive cycle count",
+         [&check_period](Options &, unsigned long long num,
+                         const char *) {
+             check_period = static_cast<Tick>(num);
+         }},
+    };
     Options opts = Options::parse(
         argc, argv,
         [&](const char *arg) {
-            if (std::strncmp(arg, "--seeds=", 8) == 0) {
-                num_seeds =
-                    static_cast<unsigned>(std::atoi(arg + 8));
-                return true;
-            }
-            if (std::strncmp(arg, "--check-period=", 15) == 0) {
-                check_period =
-                    static_cast<Tick>(std::atoll(arg + 15));
-                return true;
-            }
+            Options dummy;
+            for (const FlagSpec &spec : chaos_flags)
+                if (spec.match(arg, dummy))
+                    return true;
             return false;
         },
         " [--seeds=N] [--check-period=N]",

@@ -199,9 +199,10 @@ main(int argc, char **argv)
     }
 
     const std::vector<ProtocolConfig> all_configs = {
-        ProtocolConfig::gd(), ProtocolConfig::gh(),
-        ProtocolConfig::dd(), ProtocolConfig::ddro(),
-        ProtocolConfig::dh(), ProtocolConfig::ddse()};
+        ProtocolConfig::gd(),   ProtocolConfig::gh(),
+        ProtocolConfig::dd(),   ProtocolConfig::ddro(),
+        ProtocolConfig::dh(),   ProtocolConfig::ddse(),
+        ProtocolConfig::ddpr()};
     std::vector<ProtocolConfig> configs;
     for (const ProtocolConfig &proto : all_configs) {
         if (local.onlyConfig.empty() ||
@@ -210,7 +211,7 @@ main(int argc, char **argv)
     }
     if (configs.empty()) {
         std::cerr << "error: unknown config '" << local.onlyConfig
-                  << "' (GD, GH, DD, DD+RO, DH, DD+SE)\n";
+                  << "' (GD, GH, DD, DD+RO, DH, DD+SE, DD+PR)\n";
         return 2;
     }
 

@@ -1,8 +1,9 @@
 /**
  * @file
- * Race-detection sweep: eleven paper workloads (three from each of
- * the paper's groups, plus two device-scope mutexes) under all
- * studied configurations with the happens-before detector enabled.
+ * Race-detection sweep: fifteen workloads (three from each of the
+ * paper's groups, two device-scope mutexes, and four graph-analytics
+ * push/pull cells) under all studied configurations — the standard
+ * columns plus DD+PR — with the happens-before detector enabled.
  * This is the CI race gate — every cell must finish with zero
  * unsuppressed races, and `--race-json=PATH` emits one report per
  * cell for tools/validate_races.py --require-clean.
@@ -29,18 +30,25 @@ main(int argc, char **argv)
     opts.raceCheck = true;
 
     // Three workloads per group so every sync idiom (none, global
-    // scope, local/hybrid scope, device scope) is exercised under
-    // every config, including the HRF ones where scope races are
-    // possible.
+    // scope, local/hybrid scope, device scope, graph push/pull) is
+    // exercised under every config, including the HRF ones where
+    // scope races are possible.
     const std::vector<std::string> names = {
         "ST",    "SGEMM", "LUD",    // no-sync
         "UTS",   "FAM_G", "SPM_G",  // global-sync
         "FAM_L", "SS_L",  "TB_LG",  // local-sync
         "FAM_D", "SPM_D",           // device-sync
+        "BFS_PUSH_PL", "BFS_PULL_PL",
+        "PR_PULL_M", "SSSP_PUSH_M", // graph
     };
 
-    auto results = runMatrix(names, standardConfigs(opts), opts);
-    std::cout << "=== Race sweep: happens-before detection, eleven "
+    // The per-region column joins the gate unconditionally: streaming
+    // write-throughs must be just as race-clean as registrations.
+    auto configs = standardConfigs(opts);
+    configs.push_back(ProtocolConfig::ddpr());
+
+    auto results = runMatrix(names, configs, opts);
+    std::cout << "=== Race sweep: happens-before detection, fifteen "
                  "workloads x all configs ===\n\n";
     emitFigure(results, 0, "RaceSweep", opts);
 

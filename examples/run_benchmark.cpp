@@ -3,7 +3,7 @@
  * General benchmark runner: run any Table 4 workload on any
  * configuration, optionally dumping the full statistics report.
  *
- * Usage: run_benchmark <workload> <GD|GH|DD|DD+RO|DH|DD+SE>
+ * Usage: run_benchmark <workload> <GD|GH|DD|DD+RO|DH|DD+SE|DD+PR>
  *                      [scale-percent] [--stats] [--progress]
  */
 
@@ -34,8 +34,10 @@ parseConfig(const std::string &name)
         return ProtocolConfig::dh();
     if (name == "DD+SE")
         return ProtocolConfig::ddse();
+    if (name == "DD+PR")
+        return ProtocolConfig::ddpr();
     std::cerr << "unknown config " << name
-              << " (want GD, GH, DD, DD+RO, DH, or DD+SE)\n";
+              << " (want GD, GH, DD, DD+RO, DH, DD+SE, or DD+PR)\n";
     std::exit(2);
 }
 

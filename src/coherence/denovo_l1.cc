@@ -79,7 +79,11 @@ DenovoL1Cache::DenovoL1Cache(const std::string &name, EventQueue &eq,
       _syncCoalesced(
           stats.registerScalar(name + ".sync_coalesced",
                                "sync accesses coalesced into a "
-                               "pending registration"))
+                               "pending registration")),
+      _streamingWrites(
+          stats.registerScalar(name + ".streaming_writes",
+                               "streaming-region write-throughs "
+                               "sent (DD+PR)"))
 {
     panic_if(_config.protocol != CoherenceProtocol::Denovo,
              "DenovoL1Cache built with a non-DeNovo protocol config");
@@ -151,8 +155,10 @@ DenovoL1Cache::ensureFrame(Addr line_addr)
              "registered words");
     _array.install(*victim, line_addr);
     victim->epoch = _curEpoch;
-    if (_config.readOnlyRegions)
+    if (_config.readOnlyRegions) {
         victim->readOnly = _regions.readOnlyMask(line_addr);
+        victim->regionVersion = _regions.version();
+    }
     return *victim;
 }
 
@@ -769,6 +775,46 @@ DenovoL1Cache::startDrain(DoneCallback cb)
             }
             reg_mask |= bit;
         }
+
+        // DD+PR: streaming-region words bypass registration and
+        // write through to the home bank GPU-style. They still ride
+        // the dataRegPending/_pendingWrites accounting so release
+        // drains wait for the write-through ack and local loads see
+        // the pending value, but no ownership is requested and the
+        // ack installs nothing — the next consumer reads the fresh
+        // copy from L2 in one hop instead of chasing a remote owner.
+        WordMask stream_mask = 0;
+        if (_config.perRegionPolicy && reg_mask != 0) {
+            stream_mask =
+                reg_mask & _regions.streamingMask(group.lineAddr);
+            reg_mask &= ~stream_mask;
+        }
+        if (stream_mask != 0) {
+            LineEntry &stream_entry = entryFor(group.lineAddr);
+            WordMask newly =
+                stream_mask & ~stream_entry.dataRegPending;
+            for (unsigned w = 0; w < kWordsPerLine; ++w) {
+                if (stream_mask & (1u << w)) {
+                    stream_entry.pendingStoreData[w] =
+                        group.data[w];
+                    TRACEW(group.lineAddr + w * kWordBytes,
+                           "drain stream word " << w << " val="
+                                                << group.data[w]);
+                }
+            }
+            _pendingWrites += popcount(newly);
+            stream_entry.dataRegPending |= stream_mask;
+            // A word with sync activity in flight completes through
+            // the sync grant instead (grantWords consumes the
+            // pending-store bit exactly as for registrations).
+            WordMask to_send = stream_mask &
+                               ~stream_entry.syncRegPending &
+                               ~stream_entry.syncRunning;
+            if (to_send != 0) {
+                issueStreamingWrite(group.lineAddr, to_send,
+                                    stream_entry.pendingStoreData);
+            }
+        }
         if (reg_mask == 0)
             continue;
 
@@ -805,6 +851,51 @@ DenovoL1Cache::startDrain(DoneCallback cb)
     }
     _drainWaiters.push_back(std::move(cb));
     maybeFinishDrains();
+}
+
+void
+DenovoL1Cache::issueStreamingWrite(Addr line_addr, WordMask mask,
+                                   const LineData &data)
+{
+    ++_streamingWrites;
+    if (_trace) {
+        _trace->record(curTick(), trace::Phase::L1WritebackIssue,
+                       _node, line_addr, 0, mask);
+    }
+    DenovoL2Bank &bank = homeBank(line_addr);
+    unsigned flits = flitsForWords(popcount(mask));
+    _mesh.send(_node, bank.node(), flits, TrafficClass::WriteBack,
+               [this, &bank, line_addr, mask, data] {
+                   bank.handleStreamingWrite(
+                       line_addr, mask, data, _node,
+                       [this, line_addr, mask] {
+                           onStreamAck(line_addr, mask);
+                       });
+               });
+}
+
+void
+DenovoL1Cache::onStreamAck(Addr line_addr, WordMask mask)
+{
+    LineEntry *entry = _mshr.find(line_addr);
+    if (!entry)
+        return;
+    // Only words still pending complete here: a word granted
+    // meanwhile (sync registration racing the write-through) was
+    // already consumed by grantWords.
+    WordMask done = mask & entry->dataRegPending;
+    if (done == 0)
+        return;
+    entry->dataRegPending &= ~done;
+    unsigned words = popcount(done);
+    panic_if(_pendingWrites < words,
+             "pending-write underflow on streaming ack");
+    _pendingWrites -= words;
+    // Read targets parked on the pending words re-fetch from L2 now
+    // that the fresh value lives there (nothing installed locally).
+    settleReads(line_addr, 0, LineData{}, 0);
+    maybeFinishDrains();
+    maybeFreeEntry(line_addr);
 }
 
 void
@@ -1391,6 +1482,15 @@ DenovoL1Cache::refreshLine(CacheLine &line)
     if (line.epoch == _curEpoch)
         return;
     bool keep_ro = _config.readOnlyRegions;
+    // A declareReadOnly (or per-region policy declaration) issued
+    // since this line filled invalidates its mask snapshot: refresh
+    // from the live map before deciding which words the sweep keeps,
+    // or a word no longer read-only would wrongly survive the acquire
+    // and serve stale data.
+    if (keep_ro && line.regionVersion != _regions.version()) {
+        line.readOnly = _regions.readOnlyMask(line.addr);
+        line.regionVersion = _regions.version();
+    }
     bool any_left = false;
     for (unsigned w = 0; w < kWordsPerLine; ++w) {
         WordMask bit = static_cast<WordMask>(1u << w);
@@ -1589,9 +1689,12 @@ DenovoL1Cache::wordState(Addr addr) const
     unsigned w = wordInLine(addr);
     WordState st = line->wstate[w];
     if (st == WordState::Valid && line->epoch != _curEpoch) {
-        // Interpret lazy invalidation without mutating.
-        bool kept = _config.readOnlyRegions &&
-                    (line->readOnly & (1u << w));
+        // Interpret lazy invalidation without mutating; mirror
+        // refreshLine's mask refresh when the snapshot is stale.
+        WordMask ro = line->regionVersion == _regions.version()
+                          ? line->readOnly
+                          : _regions.readOnlyMask(line->addr);
+        bool kept = _config.readOnlyRegions && (ro & (1u << w));
         return kept ? WordState::Valid : WordState::Invalid;
     }
     return st;

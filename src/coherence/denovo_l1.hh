@@ -243,6 +243,15 @@ class DenovoL1Cache : public L1Controller
     void issueRegistration(Addr line_addr, WordMask mask,
                            bool is_sync);
 
+    /**
+     * DD+PR: write streaming-region words through to the home bank
+     * without obtaining ownership (the GPU-style store path applied
+     * selectively to regions the program declared streaming).
+     */
+    void issueStreamingWrite(Addr line_addr, WordMask mask,
+                             const LineData &data);
+    void onStreamAck(Addr line_addr, WordMask mask);
+
     /** Issue registrations that were waiting for a writeback ack. */
     void releaseHeldRegistrations(Addr line_addr);
 
@@ -380,6 +389,7 @@ class DenovoL1Cache : public L1Controller
     stats::Handle<stats::Scalar> _ownershipTransfers;
     stats::Handle<stats::Scalar> _registrationsIssued;
     stats::Handle<stats::Scalar> _syncCoalesced;
+    stats::Handle<stats::Scalar> _streamingWrites;
 };
 
 } // namespace nosync

@@ -32,6 +32,10 @@ DenovoL2Bank::DenovoL2Bank(const std::string &name, EventQueue &eq,
                                "requests forwarded to owner L1s")),
       _writebacks(stats.registerScalar(
           name + ".writebacks", "registered-word writebacks accepted")),
+      _streamingWritesStat(
+          stats.registerScalar(name + ".streaming_writes",
+                               "streaming-region write-through "
+                               "words accepted (DD+PR)")),
       _staleWritebacks(
           stats.registerScalar(name + ".stale_writebacks",
                                "writebacks ignored (ownership "
@@ -486,6 +490,40 @@ DenovoL2Bank::handleWriteBack(Addr line_addr, WordMask mask,
         }
         if (_trace && accepted) {
             // Accepted words return to L2 ownership (owner = none).
+            _trace->record(curTick(), trace::Phase::L2OwnerChange,
+                           _node, lineAlign(line.addr), 0, accepted);
+        }
+        _mesh.send(_node, requestor, kControlFlits,
+                   TrafficClass::WriteBack, std::move(ack));
+    });
+}
+
+void
+DenovoL2Bank::handleStreamingWrite(Addr line_addr, WordMask mask,
+                                   const LineData &data,
+                                   NodeId requestor, DoneCallback ack)
+{
+    withLine(line_addr, [this, mask, data, requestor,
+                         ack = std::move(ack)](CacheLine &line) {
+        WordMask accepted = 0;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            WordMask bit = static_cast<WordMask>(1u << w);
+            if (!(mask & bit))
+                continue;
+            if (line.wstate[w] == WordState::Registered) {
+                // An L1 owns the word (the program registered it by
+                // sync or mis-declared the region): the owned copy
+                // is authoritative, the write-through is stale.
+                ++_staleWritebacks;
+                continue;
+            }
+            line.data[w] = data[w];
+            line.wstate[w] = WordState::Valid;
+            line.dirty |= bit;
+            accepted |= bit;
+            ++_streamingWritesStat;
+        }
+        if (_trace && accepted) {
             _trace->record(curTick(), trace::Phase::L2OwnerChange,
                            _node, lineAlign(line.addr), 0, accepted);
         }

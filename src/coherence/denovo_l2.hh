@@ -84,6 +84,18 @@ class DenovoL2Bank : public L2Controller
                          const LineData &data, NodeId requestor,
                          DoneCallback ack);
 
+    /**
+     * DD+PR streaming-region write-through: the L1 never owned the
+     * words, so the bank stores the data in place without any owner
+     * change. A word meanwhile registered to an L1 (a program that
+     * mixes sync or owned stores into a streaming region, i.e. racy
+     * or mis-declared) keeps the registered copy authoritative and
+     * the write-through is dropped as stale.
+     */
+    void handleStreamingWrite(Addr line_addr, WordMask mask,
+                              const LineData &data, NodeId requestor,
+                              DoneCallback ack);
+
     /** Ownership + data returned by an L1 during an L2 recall (or a
      *  sync-engine reclaim, which reuses the recall response path). */
     void handleRecallData(Addr line_addr, WordMask mask,
@@ -222,6 +234,7 @@ class DenovoL2Bank : public L2Controller
     stats::Handle<stats::Scalar> _syncRegistrations;
     stats::Handle<stats::Scalar> _forwards;
     stats::Handle<stats::Scalar> _writebacks;
+    stats::Handle<stats::Scalar> _streamingWritesStat;
     stats::Handle<stats::Scalar> _staleWritebacks;
     stats::Handle<stats::Scalar> _recallsStat;
     stats::Handle<stats::Scalar> _dramFetches;

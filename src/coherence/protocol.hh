@@ -138,6 +138,18 @@ struct ProtocolConfig
     bool readOnlyRegions = false;
 
     /**
+     * DD+PR: per-region protocol specialization. Regions the program
+     * declares streaming bypass ownership registration — stores write
+     * through to the home L2 bank, GPU-style — while everything else
+     * keeps DeNovo registration and read-only regions keep the DD+RO
+     * acquire exemption. One kernel thus runs owned data under DD and
+     * frontier-style data under writethrough simultaneously. Implies
+     * readOnlyRegions (the read-only policy is one of the selectable
+     * per-region policies).
+     */
+    bool perRegionPolicy = false;
+
+    /**
      * DeNovoSync read backoff (the paper mentions but does not
      * evaluate it, Section 3): a spinning synchronization read that
      * keeps observing an unchanged value delays its re-registration
@@ -174,6 +186,8 @@ struct ProtocolConfig
         std::string name;
         if (consistency == ConsistencyModel::Hrf)
             name = "DH";
+        else if (perRegionPolicy)
+            name = "DD+PR";
         else
             name = readOnlyRegions ? "DD+RO" : "DD";
         if (syncEngine)
@@ -231,6 +245,15 @@ struct ProtocolConfig
     {
         ProtocolConfig config = dd();
         config.syncEngine = true;
+        return config;
+    }
+
+    /** DD with per-region protocol specialization (DD+PR). */
+    static ProtocolConfig
+    ddpr()
+    {
+        ProtocolConfig config = ddro();
+        config.perRegionPolicy = true;
         return config;
     }
 };

@@ -83,6 +83,15 @@ ProtocolChecker::sweep(bool quiesced) const
                           " registered (written) despite lying in the "
                           "declared read-only region");
         }
+        // Streaming regions (DD+PR) bypass registration entirely: a
+        // registered word there means an owned store or sync access
+        // targeted a region the program declared streaming.
+        if (_sys.config().protocol.perRegionPolicy &&
+            _sys.regions().isStreaming(addr)) {
+            out.push_back("word " + hexWord(addr) +
+                          " registered despite lying in a declared "
+                          "streaming region (DD+PR)");
+        }
     }
 
     if (!quiesced)

@@ -181,6 +181,12 @@ System::declareReadOnly(Addr base, Addr bytes)
 }
 
 void
+System::declareStreaming(Addr base, Addr bytes)
+{
+    _regions.declare(base, bytes, RegionPolicy::Streaming);
+}
+
+void
 System::collectMetrics(RunResult &result)
 {
     if (_engine) {
@@ -247,6 +253,11 @@ System::run(Workload &workload)
              "injector as delivery policy");
 
     workload.init(*this);
+    // Conflicting region declarations (an address covered by two
+    // different policies) would make the per-region protocol choice
+    // ambiguous: fail loudly before simulating a cycle.
+    for (const std::string &conflict : _regions.validate())
+        fatal("region declaration conflict: ", conflict);
     if (_races)
         _races->setSuppressions(workload.raceSuppressions());
 

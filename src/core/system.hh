@@ -123,6 +123,7 @@ class System : public WorkloadEnv
     void writeInit(Addr addr, std::uint32_t value) override;
     std::uint32_t debugRead(Addr addr) override;
     void declareReadOnly(Addr base, Addr bytes) override;
+    void declareStreaming(Addr base, Addr bytes) override;
     unsigned numCus() const override { return _config.numCus(); }
     unsigned numDevices() const override
     {

@@ -42,6 +42,15 @@ class WorkloadEnv
     /** Declare a read-only region (consumed by DD+RO). */
     virtual void declareReadOnly(Addr base, Addr bytes) = 0;
 
+    /**
+     * Declare a streaming region — written at most once per
+     * synchronization phase, read by many consumers next phase.
+     * Consumed by DD+PR (stores bypass ownership registration and
+     * write through); a no-op everywhere else, so workloads declare
+     * unconditionally and the configuration decides.
+     */
+    virtual void declareStreaming(Addr, Addr) {}
+
     /** Total GPU compute units in the machine, across all devices. */
     virtual unsigned numCus() const = 0;
 

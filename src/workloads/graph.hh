@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Graph-analytics workload family: BFS, PageRank, and SSSP over
+ * synthetic power-law and 2-D mesh graphs, each with a push and a
+ * pull traversal variant.
+ *
+ * The family exists to stress per-region protocol specialization
+ * (DD+PR): every variant partitions its data structures into
+ *
+ *  - the CSR graph structure, declared read-only (DD+RO semantics),
+ *  - per-vertex state owned and reused by one thread block (ranks,
+ *    distances) — DeNovo registration wins here, and
+ *  - frontier-style double buffers written once per round and read
+ *    by every neighbor next round — declared streaming, so DD+PR
+ *    writes them through to the home L2 bank instead of migrating
+ *    ownership to a writer that will never reuse it.
+ *
+ * Pull variants are owner-computes and entirely free of atomics;
+ * push variants scatter through globally scoped atomics (CAS /
+ * fetch-add), whose commutative updates keep the output
+ * schedule-independent. Push and pull compute the same function, so
+ * their outputs are comparable bit for bit.
+ */
+
+#ifndef WORKLOADS_GRAPH_HH
+#define WORKLOADS_GRAPH_HH
+
+#include <vector>
+
+#include "gpu/workload.hh"
+
+namespace nosync
+{
+
+/** Synthetic input topology. */
+enum class GraphShape
+{
+    PowerLaw, ///< hub-heavy undirected graph (skewed degrees)
+    Mesh,     ///< 2-D grid, 4-neighbor connectivity
+};
+
+/** Traversal direction. */
+enum class Traversal
+{
+    Push, ///< frontier scatters to neighbors via atomics
+    Pull, ///< every vertex gathers from neighbors, owner-computes
+};
+
+/** Sizing knobs shared by the family. */
+struct GraphParams
+{
+    unsigned nodes = 160;  ///< vertex count (mesh: rounded to square)
+    unsigned rounds = 5;   ///< BFS/SSSP rounds, PageRank iterations
+    unsigned tbs = 8;      ///< thread blocks per kernel
+};
+
+/** Deterministic host-side CSR of the undirected synthetic graph. */
+struct GraphCsr
+{
+    unsigned nodes = 0;
+    std::vector<unsigned> rowBase; ///< nodes + 1 entries
+    std::vector<unsigned> cols;    ///< neighbor lists, sorted
+    unsigned degree(unsigned v) const
+    {
+        return rowBase[v + 1] - rowBase[v];
+    }
+};
+
+/** Build the synthetic graph for @p shape over ~@p nodes vertices. */
+GraphCsr buildGraph(GraphShape shape, unsigned nodes);
+
+/** Symmetric integer weight of undirected edge {u, v}. */
+std::uint32_t edgeWeight(unsigned u, unsigned v);
+
+/** Common machinery: naming, CSR upload, vertex slicing. */
+class GraphWorkload : public Workload
+{
+  public:
+    GraphWorkload(const char *kernel_name, Traversal dir,
+                  GraphShape shape, const GraphParams &params);
+    std::string name() const override { return _name; }
+    KernelInfo kernelInfo(unsigned) const override
+    {
+        return {_params.tbs};
+    }
+
+    /** Vertices in the final (possibly rounded) graph. */
+    unsigned resultWords() const { return _params.nodes; }
+
+    /**
+     * Base address of the per-vertex output array after the last
+     * kernel (valid after init()). Push and pull variants of one
+     * algorithm compute the same function, so tests compare these
+     * images bit for bit across traversal directions.
+     */
+    virtual Addr resultBase() const = 0;
+
+  protected:
+    /** Allocate + upload the CSR arrays and declare them read-only. */
+    void initGraph(WorkloadEnv &env);
+
+    /** Vertex range [lo, hi) handled by @p tb. */
+    std::pair<unsigned, unsigned> slice(unsigned tb) const;
+
+    Addr rowBaseAddr(unsigned v) const;
+    Addr colAddr(unsigned e) const;
+
+    Traversal _dir;
+    GraphShape _shape;
+    GraphParams _params;
+    GraphCsr _csr;
+    std::string _name;
+    Addr _rowBase = 0, _cols = 0;
+};
+
+/** Level-synchronous BFS from vertex 0 (dense frontier bitmaps). */
+class Bfs : public GraphWorkload
+{
+  public:
+    Bfs(Traversal dir, GraphShape shape, GraphParams params = {});
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override { return _params.rounds; }
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+    Addr resultBase() const override { return _dist; }
+
+  private:
+    SimTask pullMain(TbContext &ctx);
+    SimTask pushMain(TbContext &ctx);
+
+    Addr _dist = 0, _front[2] = {0, 0};
+    std::vector<std::uint32_t> _expect;
+};
+
+/** Fixed-point PageRank (values scaled by 256). */
+class Pagerank : public GraphWorkload
+{
+  public:
+    Pagerank(Traversal dir, GraphShape shape, GraphParams params = {});
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override
+    {
+        return _dir == Traversal::Push ? 2 * _params.rounds
+                                       : _params.rounds;
+    }
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+    Addr resultBase() const override { return _rank; }
+
+  private:
+    SimTask pullMain(TbContext &ctx);
+    SimTask pushMain(TbContext &ctx);
+
+    Addr _rank = 0, _contrib[2] = {0, 0}, _accum = 0;
+    std::vector<std::uint32_t> _expect;
+};
+
+/** Round-synchronous SSSP (Bellman-Ford relaxations) from vertex 0. */
+class Sssp : public GraphWorkload
+{
+  public:
+    Sssp(Traversal dir, GraphShape shape, GraphParams params = {});
+    void init(WorkloadEnv &env) override;
+    unsigned numKernels() const override
+    {
+        return _dir == Traversal::Push ? 2 * _params.rounds
+                                       : _params.rounds;
+    }
+    SimTask tbMain(TbContext &ctx) override;
+    std::vector<std::string> check(WorkloadEnv &env) override;
+    Addr resultBase() const override
+    {
+        return _dist[_params.rounds % 2];
+    }
+
+  private:
+    SimTask pullMain(TbContext &ctx);
+    SimTask pushMain(TbContext &ctx);
+
+    Addr _dist[2] = {0, 0};
+    std::vector<std::uint32_t> _expect;
+};
+
+} // namespace nosync
+
+#endif // WORKLOADS_GRAPH_HH

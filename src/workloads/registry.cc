@@ -4,6 +4,7 @@
 
 #include "sim/logging.hh"
 #include "workloads/apps.hh"
+#include "workloads/graph.hh"
 #include "workloads/microbench.hh"
 #include "workloads/uts.hh"
 
@@ -31,6 +32,29 @@ scaledUts(unsigned scale_percent)
     params.numNodes =
         std::max(512u, params.numNodes * scale_percent / 100);
     return params;
+}
+
+/** Reduced-scale graph variant, or nullptr if @p name is not one. */
+std::unique_ptr<Workload>
+scaledGraph(const std::string &name)
+{
+    GraphParams params;
+    params.nodes = 64;
+    params.rounds = 3;
+    Traversal dir = name.find("_PUSH") != std::string::npos
+                        ? Traversal::Push
+                        : Traversal::Pull;
+    GraphShape shape =
+        name.size() > 3 && name.compare(name.size() - 3, 3, "_PL") == 0
+            ? GraphShape::PowerLaw
+            : GraphShape::Mesh;
+    if (name.rfind("BFS_", 0) == 0)
+        return std::make_unique<Bfs>(dir, shape, params);
+    if (name.rfind("PR_", 0) == 0)
+        return std::make_unique<Pagerank>(dir, shape, params);
+    if (name.rfind("SSSP_", 0) == 0)
+        return std::make_unique<Sssp>(dir, shape, params);
+    return nullptr;
 }
 
 } // namespace
@@ -128,6 +152,71 @@ workloadRegistry()
          [] { return std::make_unique<TreeBarrierBench>(true); }},
         {"UTS", "local-sync", "16K nodes",
          [] { return std::make_unique<Uts>(); }},
+
+        // Graph analytics: {BFS, PageRank, SSSP} x {push, pull} x
+        // {power-law (_PL), 2-D mesh (_M)}. Pull variants declare
+        // their double buffers streaming (exercised by DD+PR); push
+        // variants scatter through globally scoped atomics.
+        {"BFS_PUSH_PL", "graph", "160-vertex power-law, 5 levels",
+         [] {
+             return std::make_unique<Bfs>(Traversal::Push,
+                                          GraphShape::PowerLaw);
+         }},
+        {"BFS_PULL_PL", "graph", "160-vertex power-law, 5 levels",
+         [] {
+             return std::make_unique<Bfs>(Traversal::Pull,
+                                          GraphShape::PowerLaw);
+         }},
+        {"BFS_PUSH_M", "graph", "12x12 mesh, 5 levels",
+         [] {
+             return std::make_unique<Bfs>(Traversal::Push,
+                                          GraphShape::Mesh);
+         }},
+        {"BFS_PULL_M", "graph", "12x12 mesh, 5 levels",
+         [] {
+             return std::make_unique<Bfs>(Traversal::Pull,
+                                          GraphShape::Mesh);
+         }},
+        {"PR_PUSH_PL", "graph", "160-vertex power-law, 5 iters",
+         [] {
+             return std::make_unique<Pagerank>(Traversal::Push,
+                                               GraphShape::PowerLaw);
+         }},
+        {"PR_PULL_PL", "graph", "160-vertex power-law, 5 iters",
+         [] {
+             return std::make_unique<Pagerank>(Traversal::Pull,
+                                               GraphShape::PowerLaw);
+         }},
+        {"PR_PUSH_M", "graph", "12x12 mesh, 5 iters",
+         [] {
+             return std::make_unique<Pagerank>(Traversal::Push,
+                                               GraphShape::Mesh);
+         }},
+        {"PR_PULL_M", "graph", "12x12 mesh, 5 iters",
+         [] {
+             return std::make_unique<Pagerank>(Traversal::Pull,
+                                               GraphShape::Mesh);
+         }},
+        {"SSSP_PUSH_PL", "graph", "160-vertex power-law, 5 rounds",
+         [] {
+             return std::make_unique<Sssp>(Traversal::Push,
+                                           GraphShape::PowerLaw);
+         }},
+        {"SSSP_PULL_PL", "graph", "160-vertex power-law, 5 rounds",
+         [] {
+             return std::make_unique<Sssp>(Traversal::Pull,
+                                           GraphShape::PowerLaw);
+         }},
+        {"SSSP_PUSH_M", "graph", "12x12 mesh, 5 rounds",
+         [] {
+             return std::make_unique<Sssp>(Traversal::Push,
+                                           GraphShape::Mesh);
+         }},
+        {"SSSP_PULL_M", "graph", "12x12 mesh, 5 rounds",
+         [] {
+             return std::make_unique<Sssp>(Traversal::Pull,
+                                           GraphShape::Mesh);
+         }},
     };
     return registry;
 }
@@ -225,6 +314,8 @@ makeScaled(const std::string &name, unsigned scale_percent)
         return std::make_unique<Srad>(64, 2);
     if (name == "LAVA")
         return std::make_unique<LavaMd>(3, 16);
+    if (auto graph = scaledGraph(name))
+        return graph;
     const WorkloadDesc *desc = findWorkload(name);
     fatal_if(!desc, "unknown workload ", name);
     return desc->make();

@@ -21,7 +21,9 @@ namespace nosync
 struct WorkloadDesc
 {
     std::string name;
-    std::string group; ///< "no-sync" | "global-sync" | "local-sync"
+    /// "no-sync" | "global-sync" | "device-sync" | "local-sync" |
+    /// "graph"
+    std::string group;
     std::string input; ///< Table 4 input description (scaled)
     std::function<std::unique_ptr<Workload>()> make;
 };

@@ -90,6 +90,17 @@ TEST(ProtocolConfig, ShortNames)
     EXPECT_EQ(ProtocolConfig::dd().shortName(), "DD");
     EXPECT_EQ(ProtocolConfig::ddro().shortName(), "DD+RO");
     EXPECT_EQ(ProtocolConfig::dh().shortName(), "DH");
+    EXPECT_EQ(ProtocolConfig::ddse().shortName(), "DD+SE");
+    EXPECT_EQ(ProtocolConfig::ddpr().shortName(), "DD+PR");
+}
+
+TEST(ProtocolConfig, DdprImpliesReadOnlyRegions)
+{
+    ProtocolConfig ddpr = ProtocolConfig::ddpr();
+    EXPECT_TRUE(ddpr.perRegionPolicy);
+    EXPECT_TRUE(ddpr.readOnlyRegions);
+    EXPECT_FALSE(ProtocolConfig::ddro().perRegionPolicy);
+    EXPECT_FALSE(ProtocolConfig::dd().perRegionPolicy);
 }
 
 TEST(ProtocolConfig, DrfIgnoresScopeAnnotations)

@@ -44,13 +44,15 @@ struct ScopedLeakTolerance
 #endif
 };
 
-/** The five studied configurations plus the DD+BO extension. */
+/** The five studied configurations plus the DD+BO and DD+PR
+ *  extensions. */
 inline std::vector<ProtocolConfig>
 allConfigs()
 {
     return {ProtocolConfig::gd(),   ProtocolConfig::gh(),
             ProtocolConfig::dd(),   ProtocolConfig::ddro(),
-            ProtocolConfig::dh(),   ProtocolConfig::ddbo()};
+            ProtocolConfig::dh(),   ProtocolConfig::ddbo(),
+            ProtocolConfig::ddpr()};
 }
 
 /** Run the event queue until it drains (or a safety limit). */

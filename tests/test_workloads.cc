@@ -17,11 +17,12 @@ using namespace nosync::test;
 
 TEST(Registry, HasAllTable4Benchmarks)
 {
-    EXPECT_EQ(workloadRegistry().size(), 25u);
+    EXPECT_EQ(workloadRegistry().size(), 37u);
     EXPECT_EQ(workloadsInGroup("no-sync").size(), 10u);
     EXPECT_EQ(workloadsInGroup("global-sync").size(), 4u);
     EXPECT_EQ(workloadsInGroup("local-sync").size(), 9u);
     EXPECT_EQ(workloadsInGroup("device-sync").size(), 2u);
+    EXPECT_EQ(workloadsInGroup("graph").size(), 12u);
 }
 
 TEST(Registry, LookupByName)
@@ -104,4 +105,7 @@ INSTANTIATE_TEST_SUITE_P(GlobalSync, WorkloadRun,
                          RunName{});
 INSTANTIATE_TEST_SUITE_P(LocalSync, WorkloadRun,
                          ::testing::ValuesIn(allRuns("local-sync")),
+                         RunName{});
+INSTANTIATE_TEST_SUITE_P(Graph, WorkloadRun,
+                         ::testing::ValuesIn(allRuns("graph")),
                          RunName{});

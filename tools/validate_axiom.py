@@ -50,6 +50,7 @@ MODEL_FOR_CONFIG = {
     "GD": "sc-drf",
     "DD": "sc-drf",
     "DD+RO": "sc-drf",
+    "DD+PR": "sc-drf",
     "DD+SE": "sc-drf-engine",
     "GH": "hrf-scoped",
     "DH": "hrf-scoped",
